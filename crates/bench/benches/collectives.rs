@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the communication cost model: how fast the
+//! collective models evaluate (they sit in the inner loop of the
+//! scheduler's g-sweep and of every simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_core::MappingStrategy;
+use pt_cost::{CommContext, CostModel};
+use pt_machine::platforms;
+
+fn bench_allgather_model(c: &mut Criterion) {
+    let spec = platforms::chic().with_cores(512);
+    let model = CostModel::new(&spec);
+    let ctx = CommContext::uniform(&spec);
+    let mut group = c.benchmark_group("cost/allgather");
+    for cores in [16usize, 128, 512] {
+        let seq = MappingStrategy::Consecutive.mapping(&spec, cores).sequence;
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &seq, |b, seq| {
+            b.iter(|| model.allgather(&ctx, std::hint::black_box(seq), 4e6))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_allgather(c: &mut Criterion) {
+    let spec = platforms::chic().with_cores(256);
+    let model = CostModel::new(&spec);
+    let mapping = MappingStrategy::Scattered.mapping(&spec, 256);
+    let groups: Vec<Vec<pt_machine::CoreId>> = (0..8)
+        .map(|g| mapping.map_range(g * 32..(g + 1) * 32))
+        .collect();
+    c.bench_function("cost/multi_allgather 8x32", |b| {
+        b.iter(|| model.multi_allgather(std::hint::black_box(&groups), 1e6))
+    });
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let spec = platforms::chic().with_cores(256);
+    let model = CostModel::new(&spec);
+    let ctx = CommContext::uniform(&spec);
+    let src: Vec<pt_machine::CoreId> = (0..128).map(pt_machine::CoreId).collect();
+    let dst: Vec<pt_machine::CoreId> = (128..256).map(pt_machine::CoreId).collect();
+    let edge = pt_mtask::EdgeData {
+        bytes: 4e6,
+        pattern: pt_mtask::RedistPattern::Block,
+    };
+    c.bench_function("cost/block_redist 128->128", |b| {
+        b.iter(|| model.redist_time(&ctx, &edge, std::hint::black_box(&src), &dst))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allgather_model,
+    bench_multi_allgather,
+    bench_redistribution
+);
+criterion_main!(benches);

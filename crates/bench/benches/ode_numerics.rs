@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the sequential solver numerics: cost of one
+//! time step per method on the sparse system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_ode::{pab::startup, Bruss2d, Diirk, Epol, Irk, OdeSystem, Pab, Pabm};
+
+fn bench_steps(c: &mut Criterion) {
+    let sys = Bruss2d::new(48); // n = 4608
+    let y0 = sys.initial_value();
+    let h = 1e-4;
+    let mut group = c.benchmark_group("ode/step n=4608");
+    group.sample_size(30);
+
+    let epol = Epol::new(4);
+    group.bench_function("EPOL R=4", |b| {
+        b.iter(|| epol.step(&sys, 0.0, std::hint::black_box(&y0), h))
+    });
+
+    let irk = Irk::new(4, 3);
+    group.bench_function("IRK K=4 m=3", |b| {
+        b.iter(|| irk.step(&sys, 0.0, std::hint::black_box(&y0), h))
+    });
+
+    let diirk = Diirk::new(2, 2);
+    group.bench_function("DIIRK K=2 m=2", |b| {
+        b.iter(|| diirk.step(&sys, 0.0, std::hint::black_box(&y0), h))
+    });
+
+    let st = startup(&sys, 0.0, &y0, h, 4);
+    let pab = Pab::new(4);
+    group.bench_function("PAB K=4", |b| {
+        b.iter(|| pab.step(&sys, std::hint::black_box(&st)))
+    });
+
+    let pabm = Pabm::new(4, 2);
+    group.bench_function("PABM K=4 m=2", |b| {
+        b.iter(|| pabm.step(&sys, std::hint::black_box(&st)))
+    });
+    group.finish();
+}
+
+fn bench_rhs_eval(c: &mut Criterion) {
+    let sys = Bruss2d::new(128); // n = 32768
+    let y = sys.initial_value();
+    let mut dy = vec![0.0; sys.dim()];
+    c.bench_function("ode/bruss2d eval n=32768", |b| {
+        b.iter(|| sys.eval(0.0, std::hint::black_box(&y), &mut dy))
+    });
+}
+
+criterion_group!(benches, bench_steps, bench_rhs_eval);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the shared-memory SPMD runtime: group
+//! collectives and a full task-parallel EPOL step on worker threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_exec::{DataStore, GroupPlan, Program, Team, TaskCtx, TaskFn};
+use pt_ode::{Bruss2d, Epol, OdeSystem};
+use std::sync::Arc;
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .clamp(2, 4)
+}
+
+fn bench_team_allgather(c: &mut Criterion) {
+    let w = workers();
+    let team = Team::new(w);
+    let store = DataStore::new();
+    let n = 4096usize;
+    let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+        let src = vec![ctx.rank as f64; n];
+        let mut dst = vec![0.0; n * ctx.size];
+        for _ in 0..8 {
+            ctx.comm.allgather(ctx.rank, &src, &mut dst);
+        }
+    });
+    let program = Program::single_layer(vec![GroupPlan::new(0..w, vec![task])]);
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(20);
+    group.bench_function(format!("allgather 4Ki f64 x8 ({w} workers)"), |b| {
+        b.iter(|| team.run(std::hint::black_box(&program), &store))
+    });
+    group.finish();
+}
+
+fn bench_team_barrier(c: &mut Criterion) {
+    let w = workers();
+    let team = Team::new(w);
+    let store = DataStore::new();
+    let task: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+        for _ in 0..64 {
+            ctx.comm.barrier();
+        }
+    });
+    let program = Program::single_layer(vec![GroupPlan::new(0..w, vec![task])]);
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(20);
+    group.bench_function(format!("barrier x64 ({w} workers)"), |b| {
+        b.iter(|| team.run(std::hint::black_box(&program), &store))
+    });
+    group.finish();
+}
+
+fn bench_epol_spmd_step(c: &mut Criterion) {
+    let w = workers();
+    let sys_c = Bruss2d::new(48); // n = 4608
+    let y0 = sys_c.initial_value();
+    let sys: Arc<dyn OdeSystem> = Arc::new(sys_c);
+    let epol = Epol::new(4);
+    let team = Team::new(w);
+    let store = DataStore::new();
+    store.put("t", vec![0.0]);
+    store.put("h", vec![1e-4]);
+    store.put("eta", y0);
+    let groups = [0..w / 2, w / 2..w];
+    let program = epol.build_program(&sys, &groups);
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(20);
+    group.bench_function(format!("EPOL R=4 step n=4608 ({w} workers)"), |b| {
+        b.iter(|| team.run(std::hint::black_box(&program), &store))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_team_allgather,
+    bench_team_barrier,
+    bench_epol_spmd_step
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the scheduling algorithms: the layer scheduler
+//! (with its full g-sweep) against CPA and CPR on realistic solver graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_core::{Cpa, Cpr, LayerScheduler};
+use pt_cost::CostModel;
+use pt_machine::platforms;
+use pt_mtask::ChainGraph;
+use pt_ode::{Pabm, Schroed};
+
+fn solver_graph() -> pt_mtask::TaskGraph {
+    let sys = Schroed::new(8000);
+    Pabm::new(8, 2).step_graph(&sys, 2)
+}
+
+fn bench_layer_scheduler(c: &mut Criterion) {
+    let graph = solver_graph();
+    let spec = platforms::chic().with_cores(512);
+    let model = CostModel::new(&spec);
+    c.bench_function("sched/layer g-sweep P=512", |b| {
+        b.iter(|| LayerScheduler::new(&model).schedule(std::hint::black_box(&graph)))
+    });
+}
+
+fn bench_cpa(c: &mut Criterion) {
+    let graph = solver_graph();
+    let spec = platforms::chic().with_cores(256);
+    let model = CostModel::new(&spec);
+    c.bench_function("sched/CPA P=256", |b| {
+        b.iter(|| Cpa::new(&model).schedule(std::hint::black_box(&graph)))
+    });
+}
+
+fn bench_cpr(c: &mut Criterion) {
+    let graph = solver_graph();
+    let spec = platforms::chic().with_cores(128);
+    let model = CostModel::new(&spec);
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+    group.bench_function("CPR P=128", |b| {
+        b.iter(|| Cpr::new(&model).schedule(std::hint::black_box(&graph)))
+    });
+    group.finish();
+}
+
+fn bench_chain_contraction(c: &mut Criterion) {
+    let sys = Schroed::new(1000);
+    let graph = pt_ode::Epol::new(8).step_graph(&sys, 4);
+    c.bench_function("sched/chain contraction EPOL x4", |b| {
+        b.iter(|| ChainGraph::contract(std::hint::black_box(&graph)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_layer_scheduler,
+    bench_cpa,
+    bench_cpr,
+    bench_chain_contraction
+);
+criterion_main!(benches);

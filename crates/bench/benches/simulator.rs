@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the discrete-event simulator: full pipeline
+//! throughput for the figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_core::{DataParallel, LayerScheduler, MappingStrategy};
+use pt_cost::CostModel;
+use pt_machine::platforms;
+use pt_nas::{sp_mz, Class};
+use pt_ode::{Bruss2d, Epol};
+use pt_sim::Simulator;
+
+fn bench_layered_sim(c: &mut Criterion) {
+    let sys = Bruss2d::new(250);
+    let graph = Epol::new(8).step_graph(&sys, 2);
+    let mut group = c.benchmark_group("sim/layered EPOL");
+    for cores in [64usize, 256, 512] {
+        let spec = platforms::chic().with_cores(cores);
+        let model = CostModel::new(&spec);
+        let sched = LayerScheduler::new(&model).with_fixed_groups(4).schedule(&graph);
+        let map = MappingStrategy::Consecutive.mapping(&spec, cores);
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
+            let sim = Simulator::new(&model);
+            b.iter(|| sim.simulate_layered(std::hint::black_box(&graph), &sched, &map))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nas_sim(c: &mut Criterion) {
+    let mz = sp_mz(Class::C);
+    let graph = mz.step_graph(2);
+    let spec = platforms::chic().with_cores(256);
+    let model = CostModel::new(&spec);
+    let sched = mz.blocked_schedule(2, 256, 64);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 256);
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    group.bench_function("SP-MZ class C 256 zones", |b| {
+        let sim = Simulator::new(&model);
+        b.iter(|| sim.simulate_layered(std::hint::black_box(&graph), &sched, &map))
+    });
+    group.finish();
+}
+
+fn bench_flat_sim(c: &mut Criterion) {
+    let sys = Bruss2d::new(250);
+    let graph = Epol::new(8).step_graph(&sys, 2);
+    let spec = platforms::chic().with_cores(128);
+    let model = CostModel::new(&spec);
+    let sched = DataParallel::schedule(&graph, 128).to_symbolic();
+    let map = MappingStrategy::Consecutive.mapping(&spec, 128);
+    c.bench_function("sim/flat (2-pass contention) EPOL", |b| {
+        let sim = Simulator::new(&model);
+        b.iter(|| sim.simulate_flat(std::hint::black_box(&graph), &sched, &map))
+    });
+}
+
+criterion_group!(benches, bench_layered_sim, bench_nas_sim, bench_flat_sim);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Figure 15 — mapping strategies for the IRK, DIIRK and EPOL solvers.
+//!
+//! * Top row: IRK (K = 4) time per step on CHiC and JuRoPA, data-parallel
+//!   vs task-parallel under each mapping.
+//! * Bottom left: DIIRK on 512 CHiC cores.
+//! * Bottom right: EPOL (R = 8) on 512 JuRoPA cores.
+//!
+//! ```text
+//! cargo run -p pt-bench --release --bin fig15
+//! ```
+
+use pt_bench::pipeline::{time_per_step, Scheduler};
+use pt_bench::{cases, table};
+use pt_core::MappingStrategy;
+use pt_machine::{platforms, ClusterSpec};
+use pt_mtask::TaskGraph;
+use pt_ode::{Diirk, Epol, Irk, OdeSystem};
+
+/// dp + tp×mappings series over a core sweep.
+fn sweep(
+    graph: &TaskGraph,
+    machine: &ClusterSpec,
+    cores: &[usize],
+    tp: Scheduler,
+    steps: usize,
+) -> Vec<(String, Vec<f64>)> {
+    let mut rows = Vec::new();
+    let dp: Vec<f64> = cores
+        .iter()
+        .map(|&p| {
+            1e3 * time_per_step(
+                graph,
+                machine,
+                p,
+                Scheduler::DataParallel,
+                MappingStrategy::Consecutive,
+                None,
+                steps,
+            )
+        })
+        .collect();
+    rows.push(("dp consecutive".into(), dp));
+    for m in MappingStrategy::all_for(machine) {
+        let values: Vec<f64> = cores
+            .iter()
+            .map(|&p| 1e3 * time_per_step(graph, machine, p, tp, m, None, steps))
+            .collect();
+        rows.push((format!("tp {}", m.name()), values));
+    }
+    rows
+}
+
+fn main() {
+    let chic = platforms::chic();
+    let juropa = platforms::juropa();
+    let cores = [32usize, 64, 128, 256, 512];
+    let headers: Vec<String> = cores.iter().map(|c| format!("{c} cores")).collect();
+
+    // ---- Top: IRK K = 4 on both clusters --------------------------------
+    let sys = cases::bruss_sparse();
+    let irk = Irk::new(4, 3);
+    let graph = irk.step_graph(&sys, 2);
+    table::print(
+        "Fig 15 (top left): IRK K=4 time per step [ms] on CHiC (BRUSS2D)",
+        &headers,
+        &sweep(&graph, &chic, &cores, Scheduler::LayerFixed(4), 2),
+    );
+    table::print(
+        "Fig 15 (top right): IRK K=4 time per step [ms] on JuRoPA (BRUSS2D)",
+        &headers,
+        &sweep(&graph, &juropa, &cores, Scheduler::LayerFixed(4), 2),
+    );
+
+    // ---- Bottom left: DIIRK on 512 CHiC cores ----------------------------
+    // Measure the dynamic inner iteration count I on a real integration of
+    // a small instance, then emit the cost graph with it.
+    let small = pt_ode::Bruss2d::new(16);
+    let diirk = Diirk::new(4, 2);
+    let (_, stats) = diirk.integrate(&small, 0.0, &small.initial_value(), 0.02, 2e-3);
+    let i_dyn = stats.avg_inner().clamp(1.0, 3.0);
+    // The paper's DIIRK system sizes are moderate (the direct solve
+    // dominates); use n = 2·80² = 12 800.
+    let sys = pt_ode::Bruss2d::new(80);
+    let graph = diirk.step_graph(&sys, 2, i_dyn);
+    let mut rows = Vec::new();
+    for (label, sched, mapping) in [
+        ("dp consecutive", Scheduler::DataParallel, MappingStrategy::Consecutive),
+        ("tp consecutive", Scheduler::LayerFixed(4), MappingStrategy::Consecutive),
+        ("tp mixed(d=2)", Scheduler::LayerFixed(4), MappingStrategy::Mixed(2)),
+        ("tp scattered", Scheduler::LayerFixed(4), MappingStrategy::Scattered),
+    ] {
+        let t = 1e3 * time_per_step(&graph, &chic, 512, sched, mapping, None, 2);
+        rows.push((label.to_string(), vec![t]));
+    }
+    table::print(
+        &format!("Fig 15 (bottom left): DIIRK time per step [ms] on 512 CHiC cores (I={i_dyn:.2})"),
+        &["512 cores".into()],
+        &rows,
+    );
+
+    // ---- Bottom right: EPOL R = 8 on 512 JuRoPA cores --------------------
+    let sys = cases::bruss_large();
+    let graph = Epol::new(8).step_graph(&sys, 2);
+    let mut rows = Vec::new();
+    for (label, sched, mapping) in [
+        ("dp consecutive", Scheduler::DataParallel, MappingStrategy::Consecutive),
+        ("tp consecutive", Scheduler::LayerFixed(4), MappingStrategy::Consecutive),
+        ("tp mixed(d=2)", Scheduler::LayerFixed(4), MappingStrategy::Mixed(2)),
+        ("tp mixed(d=4)", Scheduler::LayerFixed(4), MappingStrategy::Mixed(4)),
+        ("tp scattered", Scheduler::LayerFixed(4), MappingStrategy::Scattered),
+    ] {
+        let t = 1e3 * time_per_step(&graph, &juropa, 512, sched, mapping, None, 2);
+        rows.push((label.to_string(), vec![t]));
+    }
+    table::print(
+        "Fig 15 (bottom right): EPOL R=8 time per step [ms] on 512 JuRoPA cores",
+        &["512 cores".into()],
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 17 — NAS multi-zone benchmarks: group-count and mapping
+//! exploration.
+//!
+//! SP-MZ (equal zones) and BT-MZ (geometrically imbalanced zones) on CHiC
+//! (class C, 256 zones) and the SGI Altix (classes C and D): time per step
+//! for different numbers of disjoint core subsets under each mapping,
+//! using the paper's zone assignment (contiguous blocks of neighbouring
+//! zones per group, work-balanced; §4.6).
+//!
+//! The paper's findings: a *medium* group count wins, with the *scattered*
+//! mapping; maximum task parallelism loses to load imbalance (BT-MZ) and
+//! few big groups lose to intra-group communication overhead.
+//!
+//! ```text
+//! cargo run -p pt-bench --release --bin fig17
+//! ```
+
+use pt_bench::table;
+use pt_core::MappingStrategy;
+use pt_cost::CostModel;
+use pt_machine::ClusterSpec;
+use pt_nas::{bt_mz, sp_mz, Class, MultiZone};
+use pt_sim::Simulator;
+
+const STEPS: usize = 2;
+
+fn time_per_step(
+    mz: &MultiZone,
+    machine: &ClusterSpec,
+    cores: usize,
+    g: usize,
+    mapping: MappingStrategy,
+) -> f64 {
+    let spec = machine.with_cores(cores);
+    let model = CostModel::new(&spec);
+    let graph = mz.step_graph(STEPS);
+    let sched = mz.blocked_schedule(STEPS, cores, g);
+    let map = mapping.mapping(&spec, cores);
+    let rep = Simulator::new(&model).simulate_layered(&graph, &sched, &map);
+    rep.makespan / STEPS as f64
+}
+
+fn panel(mz: &MultiZone, machine: &ClusterSpec, cores: usize, groups: &[usize]) {
+    let mut rows = Vec::new();
+    for m in [
+        MappingStrategy::Consecutive,
+        MappingStrategy::Mixed(2),
+        MappingStrategy::Scattered,
+    ] {
+        let values: Vec<f64> = groups
+            .iter()
+            .map(|&g| 1e3 * time_per_step(mz, machine, cores, g, m))
+            .collect();
+        rows.push((m.name(), values));
+    }
+    table::print(
+        &format!(
+            "Fig 17: {} class {:?} on {} ({} cores), time per step [ms] vs number of groups",
+            mz.name, mz.class, machine.name, cores
+        ),
+        &groups.iter().map(|g| format!("g={g}")).collect::<Vec<_>>(),
+        &rows,
+    );
+}
+
+fn main() {
+    let chic = pt_machine::platforms::chic();
+    let altix = pt_machine::platforms::altix();
+    let groups = [4usize, 8, 16, 32, 64, 128, 256];
+
+    // SP-MZ class C on 256 CHiC cores and on 256 Altix cores.
+    let sp = sp_mz(Class::C);
+    panel(&sp, &chic, 256, &groups);
+    panel(&sp, &altix, 256, &groups);
+
+    // BT-MZ class C on both platforms.
+    let bt = bt_mz(Class::C);
+    panel(&bt, &chic, 256, &groups);
+    panel(&bt, &altix, 256, &groups);
+
+    // Class D (1024 zones) on 512 Altix cores, the larger configuration.
+    let sp_d = sp_mz(Class::D);
+    panel(&sp_d, &altix, 512, &[16, 32, 64, 128, 256, 512]);
+    let bt_d = bt_mz(Class::D);
+    panel(&bt_d, &altix, 512, &[16, 32, 64, 128, 256, 512]);
+}

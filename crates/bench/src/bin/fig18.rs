@@ -1,0 +1,75 @@
+//! Figure 18 — pure MPI vs hybrid MPI+OpenMP for IRK and DIIRK on CHiC.
+//!
+//! The hybrid scheme fuses the cores of one node into a single process
+//! with 4 OpenMP threads.  The paper's findings: hybrid helps the
+//! data-parallel IRK considerably (fewer processes in the global
+//! collectives); for DIIRK, hybrid slows the data-parallel version down
+//! (frequent small operations → per-operation thread synchronisation) but
+//! clearly helps the task-parallel version.
+//!
+//! ```text
+//! cargo run -p pt-bench --release --bin fig18
+//! ```
+
+use pt_bench::pipeline::{time_per_step, Scheduler};
+use pt_bench::{cases, table};
+use pt_core::hybrid::HybridConfig;
+use pt_core::MappingStrategy;
+use pt_machine::platforms;
+use pt_ode::{Diirk, Irk, OdeSystem};
+
+fn main() {
+    let chic = platforms::chic();
+    let cores = [32usize, 64, 128, 256, 512];
+    let headers: Vec<String> = cores.iter().map(|c| format!("{c} cores")).collect();
+    let mapping = MappingStrategy::Consecutive;
+    let hybrid = HybridConfig::per_node(&chic);
+
+    // ---- IRK K = 4 --------------------------------------------------------
+    let sys = cases::bruss_sparse();
+    let graph = Irk::new(4, 3).step_graph(&sys, 2);
+    let mut rows = Vec::new();
+    for (label, sched, hyb) in [
+        ("dp pure MPI", Scheduler::DataParallel, None),
+        ("dp hybrid 4 thr", Scheduler::DataParallel, Some(hybrid)),
+        ("tp pure MPI", Scheduler::LayerFixed(4), None),
+        ("tp hybrid 4 thr", Scheduler::LayerFixed(4), Some(hybrid)),
+    ] {
+        let values: Vec<f64> = cores
+            .iter()
+            .map(|&p| 1e3 * time_per_step(&graph, &chic, p, sched, mapping, hyb, 2))
+            .collect();
+        rows.push((label.to_string(), values));
+    }
+    table::print(
+        "Fig 18 (left): IRK K=4 time per step [ms] on CHiC, pure MPI vs hybrid",
+        &headers,
+        &rows,
+    );
+
+    // ---- DIIRK ------------------------------------------------------------
+    let small = pt_ode::Bruss2d::new(16);
+    let diirk = Diirk::new(4, 2);
+    let (_, stats) = diirk.integrate(&small, 0.0, &small.initial_value(), 0.02, 2e-3);
+    let i_dyn = stats.avg_inner().clamp(1.0, 3.0);
+    let sys = pt_ode::Bruss2d::new(80);
+    let graph = diirk.step_graph(&sys, 2, i_dyn);
+    let mut rows = Vec::new();
+    for (label, sched, hyb) in [
+        ("dp pure MPI", Scheduler::DataParallel, None),
+        ("dp hybrid 4 thr", Scheduler::DataParallel, Some(hybrid)),
+        ("tp pure MPI", Scheduler::LayerFixed(4), None),
+        ("tp hybrid 4 thr", Scheduler::LayerFixed(4), Some(hybrid)),
+    ] {
+        let values: Vec<f64> = cores
+            .iter()
+            .map(|&p| 1e3 * time_per_step(&graph, &chic, p, sched, mapping, hyb, 2))
+            .collect();
+        rows.push((label.to_string(), values));
+    }
+    table::print(
+        &format!("Fig 18 (right): DIIRK time per step [ms] on CHiC (I={i_dyn:.2}), pure MPI vs hybrid"),
+        &headers,
+        &rows,
+    );
+}

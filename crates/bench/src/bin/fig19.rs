@@ -1,0 +1,59 @@
+//! Figure 19 — MPI-process / OpenMP-thread combinations for PABM on the
+//! SGI Altix (256 cores).
+//!
+//! The Altix is a distributed shared memory machine, so threads may span
+//! nodes and many process×thread combinations are possible.  The paper's
+//! findings: the data-parallel version works best with few processes and
+//! many threads; the task-parallel version is fastest with one process per
+//! node (4 threads) and needs at least K = 8 processes.
+//!
+//! ```text
+//! cargo run -p pt-bench --release --bin fig19
+//! ```
+
+use pt_bench::pipeline::{time_per_step, Scheduler};
+use pt_bench::{cases, table};
+use pt_core::hybrid::HybridConfig;
+use pt_core::MappingStrategy;
+use pt_machine::platforms;
+use pt_ode::Pabm;
+
+fn main() {
+    let altix = platforms::altix();
+    let cores = 256usize;
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let headers: Vec<String> = threads
+        .iter()
+        .map(|t| format!("{}p x {t}t", cores / t))
+        .collect();
+
+    let sys = cases::schroed_dense();
+    let graph = Pabm::new(8, 2).step_graph(&sys, 2);
+    let mut rows = Vec::new();
+    for (label, sched) in [
+        ("dp", Scheduler::DataParallel),
+        ("tp (K=8 groups)", Scheduler::LayerFixed(8)),
+    ] {
+        let values: Vec<f64> = threads
+            .iter()
+            .map(|&t| {
+                let hybrid = (t > 1).then(|| HybridConfig::with_threads(t));
+                1e3 * time_per_step(
+                    &graph,
+                    &altix,
+                    cores,
+                    sched,
+                    MappingStrategy::Consecutive,
+                    hybrid,
+                    2,
+                )
+            })
+            .collect();
+        rows.push((label.to_string(), values));
+    }
+    table::print(
+        "Fig 19: PABM K=8 time per step [ms] on 256 SGI Altix cores, processes x threads",
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! Table 1 — types and amounts of collective communication operations per
+//! time step of the ODE solvers (data-parallel vs task-parallel).
+//!
+//! ```text
+//! cargo run -p pt-bench --release --bin table1
+//! ```
+
+fn main() {
+    // The paper's configurations: EPOL R = 8, IRK/DIIRK/PAB/PABM K = 8 (or
+    // 4), m iterations; n and the measured dynamic I are shown for the
+    // DIIRK rows.
+    let (r, k, m) = (8, 8, 2);
+    let n = 125_000;
+
+    // Measure the dynamic inner iteration count I on a real integration.
+    use pt_ode::OdeSystem as _;
+    let sys = pt_ode::Bruss2d::new(20);
+    let d = pt_ode::Diirk::new(4, m);
+    let (_, stats) = d.integrate(&sys, 0.0, &sys.initial_value(), 0.02, 1e-3);
+    let i_dyn = stats.avg_inner().clamp(1.0, 3.0);
+
+    println!(
+        "Table 1: collective communication operations per time step \
+         (R={r}, K={k}, m={m}, I={i_dyn:.2} [measured], n={n})"
+    );
+    print!("{}", pt_ode::census::table1(r, k, m, i_dyn, n));
+    println!(
+        "\nNotes: Tag = multi-broadcast (MPI_Allgather), Tbc = broadcast \
+         (MPI_Bcast); task-parallel rows list the operations of one group."
+    );
+}

@@ -1,0 +1,219 @@
+//! Shared helpers for the figure/table harness binaries
+//! (`cargo run -p pt-bench --release --bin <figN>`) and the Criterion
+//! benches.
+//!
+//! The central entry point is [`pipeline::time_per_step`]: graph →
+//! schedule → map → simulate, returning the simulated seconds per time
+//! step — the quantity every figure of the paper's evaluation plots.
+
+pub mod pipeline {
+    use pt_core::hybrid::HybridConfig;
+    use pt_core::{Cpa, Cpr, DataParallel, LayerScheduler, MappingStrategy};
+    use pt_cost::CostModel;
+    use pt_machine::ClusterSpec;
+    use pt_mtask::TaskGraph;
+    use pt_sim::Simulator;
+
+    /// Which scheduling algorithm to run.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Scheduler {
+        /// The paper's layer-based scheduler (Algorithm 1) with the g-sweep.
+        Layer,
+        /// Layer-based with a fixed group count per layer.
+        LayerFixed(usize),
+        /// Pure data-parallel execution.
+        DataParallel,
+        /// CPA baseline.
+        Cpa,
+        /// CPR baseline.
+        Cpr,
+    }
+
+    impl Scheduler {
+        /// Display label.
+        pub fn label(&self) -> String {
+            match self {
+                Scheduler::Layer => "layer".into(),
+                Scheduler::LayerFixed(g) => format!("layer(g={g})"),
+                Scheduler::DataParallel => "dp".into(),
+                Scheduler::Cpa => "CPA".into(),
+                Scheduler::Cpr => "CPR".into(),
+            }
+        }
+    }
+
+    /// Full pipeline: schedule `graph` (containing `steps` unrolled time
+    /// steps) on `cores` cores of `machine`, map with `mapping`, simulate
+    /// (optionally hybrid) and return seconds per time step.
+    pub fn time_per_step(
+        graph: &TaskGraph,
+        machine: &ClusterSpec,
+        cores: usize,
+        scheduler: Scheduler,
+        mapping: MappingStrategy,
+        hybrid: Option<HybridConfig>,
+        steps: usize,
+    ) -> f64 {
+        let spec = machine.with_cores(cores);
+        let model = CostModel::new(&spec);
+        let mut sim = Simulator::new(&model);
+        if let Some(cfg) = hybrid {
+            sim = sim.with_hybrid(cfg);
+        }
+        let map = mapping.mapping(&spec, cores);
+        let makespan = match scheduler {
+            Scheduler::Layer => {
+                let s = LayerScheduler::new(&model).schedule(graph);
+                sim.simulate_layered(graph, &s, &map).makespan
+            }
+            Scheduler::LayerFixed(g) => {
+                let s = LayerScheduler::new(&model).with_fixed_groups(g).schedule(graph);
+                sim.simulate_layered(graph, &s, &map).makespan
+            }
+            Scheduler::DataParallel => {
+                let s = DataParallel::schedule(graph, cores);
+                sim.simulate_layered(graph, &s, &map).makespan
+            }
+            Scheduler::Cpa => {
+                let s = Cpa::new(&model).schedule(graph);
+                sim.simulate_flat(graph, &s, &map).makespan
+            }
+            Scheduler::Cpr => {
+                let s = Cpr::new(&model).schedule(graph);
+                sim.simulate_flat(graph, &s, &map).makespan
+            }
+        };
+        makespan / steps as f64
+    }
+
+    /// Sequential execution time of one time step (total work at one
+    /// core's speed — the baseline of the paper's speedup plots).
+    pub fn sequential_step(graph: &TaskGraph, machine: &ClusterSpec, steps: usize) -> f64 {
+        machine.compute_time(graph.total_work()) / steps as f64
+    }
+}
+
+pub mod table {
+    //! Minimal aligned-column table printing for the harness binaries.
+
+    /// Print a header line followed by rows; first column is the label.
+    pub fn print(title: &str, columns: &[String], rows: &[(String, Vec<f64>)]) {
+        println!("\n# {title}");
+        print!("{:<24}", "series");
+        for c in columns {
+            print!(" {c:>14}");
+        }
+        println!();
+        for (label, values) in rows {
+            print!("{label:<24}");
+            for v in values {
+                if v.is_nan() {
+                    print!(" {:>14}", "-");
+                } else if *v != 0.0 && v.abs() < 0.1 {
+                    print!(" {:>14.6}", v);
+                } else {
+                    print!(" {:>14.3}", v);
+                }
+            }
+            println!();
+        }
+    }
+}
+
+pub mod cases {
+    //! The concrete systems and solver parameters used by the figures.
+
+    use pt_ode::{Bruss2d, Schroed};
+
+    /// Sparse BRUSS2D instance used by the time-per-step figures
+    /// (n = 2·250² = 125 000).
+    pub fn bruss_sparse() -> Bruss2d {
+        Bruss2d::new(250)
+    }
+
+    /// Larger BRUSS2D for high core counts (n = 2·500² = 500 000).
+    pub fn bruss_large() -> Bruss2d {
+        Bruss2d::new(500)
+    }
+
+    /// Dense SCHROED instance (n = 36 000, quadratic evaluation cost);
+    /// large enough that the group allgathers of a 512-core run stay in
+    /// the ring regime, as on the paper's testbeds.
+    pub fn schroed_dense() -> Schroed {
+        Schroed::new(36_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pipeline::{sequential_step, time_per_step, Scheduler};
+    use pt_core::MappingStrategy;
+    use pt_machine::platforms;
+    use pt_ode::{Epol, OdeSystem};
+
+    #[test]
+    fn pipeline_produces_positive_times() {
+        let sys = pt_ode::Bruss2d::new(50);
+        let g = Epol::new(4).step_graph(&sys, 1);
+        let chic = platforms::chic();
+        let t = time_per_step(
+            &g,
+            &chic,
+            32,
+            Scheduler::Layer,
+            MappingStrategy::Consecutive,
+            None,
+            1,
+        );
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn compute_bound_case_shows_speedup() {
+        // The dense system makes evaluation cost quadratic, so the
+        // parallel execution must beat the sequential one (this is the
+        // regime of the paper's PABM speedup plots, Fig. 13/16).
+        let sys = pt_ode::Schroed::new(800);
+        let g = pt_ode::Irk::new(4, 3).step_graph(&sys, 1);
+        let chic = platforms::chic();
+        let t = time_per_step(
+            &g,
+            &chic,
+            32,
+            Scheduler::Layer,
+            MappingStrategy::Consecutive,
+            None,
+            1,
+        );
+        let seq = sequential_step(&g, &chic, 1);
+        assert!(
+            seq / t > 4.0,
+            "expected real speedup on 32 cores, got {}",
+            seq / t
+        );
+    }
+
+    #[test]
+    fn schedulers_all_run() {
+        let sys = pt_ode::Bruss2d::new(30);
+        let g = Epol::new(4).step_graph(&sys, 1);
+        let chic = platforms::chic();
+        for s in [
+            Scheduler::Layer,
+            Scheduler::LayerFixed(2),
+            Scheduler::DataParallel,
+            Scheduler::Cpa,
+            Scheduler::Cpr,
+        ] {
+            let t = time_per_step(&g, &chic, 16, s, MappingStrategy::Consecutive, None, 1);
+            assert!(t > 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn cases_have_expected_sizes() {
+        use super::cases;
+        assert_eq!(cases::bruss_sparse().dim(), 125_000);
+        assert_eq!(cases::schroed_dense().dim(), 36_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! Group-size adjustment (paper §3.2, third step).
+//!
+//! After choosing the number of groups `g` and assigning tasks, group `l`'s
+//! size is recomputed proportionally to its assigned sequential work:
+//!
+//! ```text
+//! g_l = round( Tseq(G_l) / Σ_j Tseq(G_j) · P )
+//! ```
+//!
+//! with the rounding performed such that the sizes still sum to the total
+//! number of physical cores `P` (largest-remainder correction) and no
+//! non-empty group drops to zero cores.
+
+/// Adjust group sizes proportionally to the per-group work.
+///
+/// `work[l]` is `Tseq(G_l)`, the accumulated sequential time of the tasks
+/// assigned to group `l`.  Returns the adjusted sizes summing to `total`.
+/// Groups with zero work receive zero cores *only if* some other group has
+/// work; the caller normally drops empty groups beforehand.
+pub fn adjust_group_sizes(work: &[f64], total: usize) -> Vec<usize> {
+    let g = work.len();
+    assert!(g > 0, "no groups to adjust");
+    assert!(total >= g, "cannot give {g} groups at least one of {total} cores");
+    let sum: f64 = work.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate: spread evenly.
+        return equal_partition(total, g);
+    }
+    // Ideal fractional shares; every group with positive work keeps ≥ 1.
+    let mut sizes: Vec<usize> = Vec::with_capacity(g);
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(g);
+    for (l, &w) in work.iter().enumerate() {
+        let ideal = w / sum * total as f64;
+        let mut floor = ideal.floor() as usize;
+        if w > 0.0 && floor == 0 {
+            floor = 1; // never starve a working group
+        }
+        sizes.push(floor);
+        remainders.push((l, ideal - floor as f64));
+    }
+    let mut assigned: usize = sizes.iter().sum();
+    // Largest-remainder: hand out missing cores to the largest fractional
+    // parts; reclaim excess from the smallest (without going below 1).
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut i = 0;
+    while assigned < total {
+        let l = remainders[i % g].0;
+        sizes[l] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    let mut j = g;
+    while assigned > total {
+        j = if j == 0 { g - 1 } else { j - 1 };
+        let l = remainders[j].0;
+        if sizes[l] > 1 {
+            sizes[l] -= 1;
+            assigned -= 1;
+        }
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), total);
+    sizes
+}
+
+/// Partition `total` cores into `g` near-equal parts (difference ≤ 1), the
+/// initial partition of Algorithm 1 line 6.
+pub fn equal_partition(total: usize, g: usize) -> Vec<usize> {
+    assert!(g > 0 && g <= total, "need 1 ≤ g ≤ total, got g={g}, total={total}");
+    let base = total / g;
+    let extra = total % g;
+    (0..g).map(|l| base + usize::from(l < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_partition_sums_and_balances() {
+        for total in [1usize, 7, 16, 100] {
+            for g in 1..=total.min(12) {
+                let p = equal_partition(total, g);
+                assert_eq!(p.iter().sum::<usize>(), total);
+                let min = *p.iter().min().unwrap();
+                let max = *p.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_adjustment() {
+        // EPOL with R = 4: groups hold micro-step chains of work 1+4=5 and
+        // 2+3=5 under the R/2 pairing — equal work keeps equal sizes…
+        let sizes = adjust_group_sizes(&[5.0, 5.0], 16);
+        assert_eq!(sizes, vec![8, 8]);
+        // …but 4 unpaired chains of work 1..4 get proportional cores.
+        let sizes = adjust_group_sizes(&[1.0, 2.0, 3.0, 4.0], 10);
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(sizes, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rounding_preserves_total() {
+        let sizes = adjust_group_sizes(&[1.0, 1.0, 1.0], 16);
+        assert_eq!(sizes.iter().sum::<usize>(), 16);
+        let sizes = adjust_group_sizes(&[0.3, 0.3, 0.4], 7);
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn no_group_starves() {
+        let sizes = adjust_group_sizes(&[1000.0, 1.0], 8);
+        assert!(sizes[1] >= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn zero_work_spreads_evenly() {
+        let sizes = adjust_group_sizes(&[0.0, 0.0], 8);
+        assert_eq!(sizes, vec![4, 4]);
+    }
+
+    #[test]
+    fn matches_paper_fig6_right() {
+        // Fig. 6 (right): EPOL R = 4 with g = R = 4 groups of *different*
+        // size determined by the adjustment: chains of work ∝ 1, 2, 3, 4
+        // micro steps on 8 cores → sizes ∝ work.
+        let sizes = adjust_group_sizes(&[1.0, 2.0, 3.0, 4.0], 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2] && sizes[2] <= sizes[3]);
+        assert!(sizes[0] >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot give")]
+    fn too_few_cores_rejected() {
+        adjust_group_sizes(&[1.0, 1.0, 1.0], 2);
+    }
+}

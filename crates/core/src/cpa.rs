@@ -1,0 +1,229 @@
+//! CPA — Critical Path and Allocation (Radulescu & van Gemund, IPDPS'01).
+//!
+//! CPA decouples allocation from scheduling: the allocation phase starts
+//! with one core per task and repeatedly grants one more core to the
+//! critical-path task with the best time/core-ratio improvement, until the
+//! critical path `TCP` no longer exceeds the average area `TA = Σ np·T / P`.
+//! The scheduling phase is a bottom-level list scheduler
+//! ([`crate::list::list_schedule`]).
+//!
+//! CPA is the paper's first baseline (Fig. 13).  Its known weakness —
+//! reproduced faithfully here — is *over-allocation*: because the ratio
+//! `T(np)/np` keeps falling even when `T` itself stalls or grows
+//! (communication-bound tasks), the allocation loop can hand the critical
+//! tasks far more cores than `P/K`, so the scheduling phase cannot run the
+//! `K` independent tasks of a PABM/IRK layer concurrently.
+
+use crate::list::{list_schedule, symbolic_redist};
+use crate::schedule::SymbolicSchedule;
+use pt_cost::CostModel;
+use pt_mtask::{chain::ChainGraph, TaskGraph, TaskId};
+
+/// The CPA scheduler.
+#[derive(Debug, Clone)]
+pub struct Cpa<'a> {
+    /// Cost model providing `Tsymb`.
+    pub model: &'a CostModel<'a>,
+}
+
+impl<'a> Cpa<'a> {
+    /// New CPA instance.
+    pub fn new(model: &'a CostModel<'a>) -> Self {
+        Cpa { model }
+    }
+
+    /// Allocation phase on the (chain-contracted) graph: one `np` per node.
+    pub fn allocate(&self, graph: &TaskGraph) -> Vec<usize> {
+        let p = self.model.spec.total_cores();
+        let n = graph.len();
+        let mut np = vec![1usize; n];
+        // Bound the loop: every task can grow to at most P cores.
+        let max_steps = n * p;
+        for _ in 0..max_steps {
+            let (tcp, on_cp) = self.critical_path(graph, &np);
+            let ta = self.average_area(graph, &np);
+            if tcp <= ta {
+                break;
+            }
+            // Best ratio improvement among critical tasks.
+            let mut best: Option<(f64, TaskId)> = None;
+            for &t in &on_cp {
+                if np[t.0] >= p {
+                    continue;
+                }
+                let cur = self.time(graph, t, np[t.0]);
+                let nxt = self.time(graph, t, np[t.0] + 1);
+                let gain = cur / np[t.0] as f64 - nxt / (np[t.0] + 1) as f64;
+                if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((gain, t));
+                }
+            }
+            match best {
+                Some((_, t)) => np[t.0] += 1,
+                None => break, // every critical task is maximal
+            }
+        }
+        np
+    }
+
+    /// Full CPA: allocate on the contracted graph, then list-schedule the
+    /// original graph with the expanded allocation.
+    pub fn schedule(&self, graph: &TaskGraph) -> SymbolicSchedule {
+        let cg = ChainGraph::contract(graph);
+        let contracted_np = self.allocate(&cg.graph);
+        let mut np = vec![1usize; graph.len()];
+        for (node, chain) in cg.members.iter().enumerate() {
+            for &t in chain {
+                np[t.0] = contracted_np[node];
+            }
+        }
+        list_schedule(self.model, graph, &np)
+    }
+
+    fn time(&self, graph: &TaskGraph, t: TaskId, np: usize) -> f64 {
+        pt_cost::task_time_optimistic(self.model, graph.task(t), np.max(1))
+    }
+
+    /// Critical-path length and the set of tasks on a critical path,
+    /// including symbolic edge (re-distribution) delays.
+    fn critical_path(&self, graph: &TaskGraph, np: &[usize]) -> (f64, Vec<TaskId>) {
+        let edge_cost = |a: TaskId, b: TaskId| -> f64 {
+            let e = graph.edge(a, b).expect("edge");
+            // Conservative: producer/consumer on different sets.
+            symbolic_redist(
+                self.model,
+                e,
+                &vec![0; np[a.0].max(1)],
+                &vec![1; np[b.0].max(1)],
+            )
+        };
+        let order = graph.topo_order();
+        let mut tl = vec![0.0f64; graph.len()];
+        for &u in &order {
+            let mut base = 0.0f64;
+            for &pr in graph.preds(u) {
+                base = base.max(tl[pr.0] + edge_cost(pr, u));
+            }
+            tl[u.0] = base + self.time(graph, u, np[u.0]);
+        }
+        let mut bl = vec![0.0f64; graph.len()];
+        for &u in order.iter().rev() {
+            let mut base = 0.0f64;
+            for &s in graph.succs(u) {
+                base = base.max(bl[s.0] + edge_cost(u, s));
+            }
+            bl[u.0] = base + self.time(graph, u, np[u.0]);
+        }
+        let tcp = tl.iter().copied().fold(0.0, f64::max);
+        let eps = 1e-12 + tcp * 1e-9;
+        let on_cp: Vec<TaskId> = graph
+            .task_ids()
+            .filter(|t| !graph.task(*t).is_structural())
+            .filter(|t| (tl[t.0] + bl[t.0] - self.time(graph, *t, np[t.0]) - tcp).abs() <= eps)
+            .collect();
+        (tcp, on_cp)
+    }
+
+    /// Average area `TA = (1/P) Σ np·T(t, np)`.
+    fn average_area(&self, graph: &TaskGraph, np: &[usize]) -> f64 {
+        let p = self.model.spec.total_cores() as f64;
+        graph
+            .task_ids()
+            .map(|t| np[t.0] as f64 * self.time(graph, t, np[t.0]))
+            .sum::<f64>()
+            / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_machine::platforms;
+    use pt_mtask::{CommOp, MTask};
+
+    /// K equal independent compute-bound tasks.
+    fn stage_layer(k: usize, work: f64, comm_bytes: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..k {
+            g.add_task(MTask::with_comm(
+                format!("stage{i}"),
+                work,
+                vec![CommOp::allgather(comm_bytes, 1.0)],
+            ));
+        }
+        g
+    }
+
+    /// K parallel stage tasks feeding a global update task — the shape of
+    /// one PABM/IRK time step, which triggers CPA's over-allocation.
+    fn stage_step(k: usize, work: f64, comm_bytes: f64) -> TaskGraph {
+        let mut g = stage_layer(k, work, comm_bytes);
+        let stages: Vec<TaskId> = g.task_ids().collect();
+        let upd = g.add_task(MTask::with_comm(
+            "update",
+            work / 10.0,
+            vec![CommOp::allgather(comm_bytes, 1.0)],
+        ));
+        for s in stages {
+            g.add_edge(s, upd, pt_mtask::EdgeData::replicated(comm_bytes));
+        }
+        g
+    }
+
+    #[test]
+    fn compute_bound_allocation_balances() {
+        // Compute-dominated stages: allocation should settle near P/K.
+        let spec = platforms::chic().with_nodes(8); // P = 32
+        let model = CostModel::new(&spec);
+        let cpa = Cpa::new(&model);
+        let g = stage_layer(4, 1e10, 1_000.0);
+        let np = cpa.allocate(&g);
+        for &a in &np {
+            assert!((4..=16).contains(&a), "allocation {np:?} far from P/K = 8");
+        }
+    }
+
+    #[test]
+    fn communication_bound_allocation_over_allocates() {
+        // Heavy allgather per stage: T(np) stops improving but the ratio
+        // T/np keeps falling → CPA pumps cores beyond P/K (its documented
+        // flaw, paper §4.3).
+        let spec = platforms::chic().with_nodes(8); // P = 32
+        let model = CostModel::new(&spec);
+        let cpa = Cpa::new(&model);
+        let g = stage_step(4, 1e9, 64.0 * 1024.0 * 1024.0);
+        let np = cpa.allocate(&g);
+        let stage_total: usize = np[..4].iter().sum();
+        assert!(
+            stage_total > 32,
+            "expected over-allocation of the stage layer beyond P = 32, got {np:?}"
+        );
+    }
+
+    #[test]
+    fn schedule_is_valid() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let cpa = Cpa::new(&model);
+        let g = stage_layer(4, 1e9, 8_000.0);
+        let sched = cpa.schedule(&g);
+        assert!(sched.validate(&g).is_ok());
+        assert_eq!(sched.entries.len(), 4);
+    }
+
+    #[test]
+    fn over_allocated_schedule_serialises_stages() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let cpa = Cpa::new(&model);
+        let g = stage_step(4, 1e9, 64.0 * 1024.0 * 1024.0);
+        let sched = cpa.schedule(&g);
+        // At least one stage must start strictly after another (they no
+        // longer all fit side by side).
+        let stage_starts: Vec<f64> = sched.entries[..4].iter().map(|e| e.est_start).collect();
+        assert!(
+            stage_starts.iter().any(|&s| s > 0.0),
+            "over-allocation should force serialisation: {stage_starts:?}"
+        );
+    }
+}

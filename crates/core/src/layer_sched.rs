@@ -1,0 +1,425 @@
+//! The paper's layer-based scheduling algorithm (§3.2, Algorithm 1).
+//!
+//! Three steps:
+//!
+//! 1. **Chain contraction** — maximal linear chains are replaced by single
+//!    nodes so their members share one core group (no re-distribution
+//!    between them).
+//! 2. **Layering** — greedy partition into layers of independent tasks.
+//! 3. **Per-layer group search** — for every candidate group count
+//!    `g ∈ {1..P}` the symbolic cores are split into `g` equal subsets and
+//!    the layer's tasks are assigned by the modified greedy rule (tasks in
+//!    decreasing symbolic execution time, each to the subset with the
+//!    smallest accumulated time — Sahni's LPT, 4/3-suboptimal for the
+//!    uniprocessor analogue).  The `g` minimising the layer makespan
+//!    `Tact(g)` wins, then the **group adjustment** resizes the subsets
+//!    proportionally to their assigned work.
+
+use crate::adjust::{adjust_group_sizes, equal_partition};
+use crate::schedule::{LayerSchedule, LayeredSchedule};
+use pt_cost::CostModel;
+use pt_mtask::{chain::ChainGraph, layer::layers, MTask, TaskGraph, TaskId};
+
+/// The combined scheduler of the paper.
+#[derive(Debug, Clone)]
+pub struct LayerScheduler<'a> {
+    /// Cost model providing `Tsymb(M, p)`.
+    pub model: &'a CostModel<'a>,
+    /// Optional fixed group count per layer (`None`: sweep `g = 1..P` and
+    /// pick the best, the paper's default; `Some(g)`: force `g` subsets, as
+    /// in the NAS group-count exploration of Fig. 17).
+    pub fixed_groups: Option<usize>,
+    /// Apply the group-adjustment step (on by default; switching it off
+    /// reproduces the "equal-sized groups" ablation).
+    pub adjust: bool,
+    /// Contract maximal linear chains before layering (on by default;
+    /// switching it off reproduces the "no chain contraction" ablation —
+    /// chain members may then land on different groups and pay
+    /// re-distribution).
+    pub contract_chains: bool,
+}
+
+impl<'a> LayerScheduler<'a> {
+    /// Scheduler with the paper's default behaviour.
+    pub fn new(model: &'a CostModel<'a>) -> Self {
+        LayerScheduler {
+            model,
+            fixed_groups: None,
+            adjust: true,
+            contract_chains: true,
+        }
+    }
+
+    /// Force a specific number of groups per layer.
+    pub fn with_fixed_groups(mut self, g: usize) -> Self {
+        self.fixed_groups = Some(g);
+        self
+    }
+
+    /// Disable the group-adjustment step.
+    pub fn without_adjustment(mut self) -> Self {
+        self.adjust = false;
+        self
+    }
+
+    /// Disable the chain-contraction step.
+    pub fn without_chain_contraction(mut self) -> Self {
+        self.contract_chains = false;
+        self
+    }
+
+    /// Schedule a task graph onto `P = spec.total_cores()` symbolic cores.
+    pub fn schedule(&self, graph: &TaskGraph) -> LayeredSchedule {
+        let out = self.schedule_on(graph, self.model.spec.total_cores());
+        debug_assert!(out.validate().is_ok());
+        out
+    }
+
+    /// Schedule one layer of independent tasks; returns the adjusted group
+    /// sizes and the per-group ordered task lists (ids refer to the graph
+    /// the tasks came from).
+    pub fn schedule_layer(
+        &self,
+        tasks: &[(TaskId, &MTask)],
+        total: usize,
+    ) -> (Vec<usize>, Vec<Vec<TaskId>>) {
+        assert!(!tasks.is_empty(), "cannot schedule an empty layer");
+        let max_g = tasks.len().min(total);
+        let candidates: Vec<usize> = match self.fixed_groups {
+            Some(g) => vec![g.clamp(1, max_g)],
+            None => (1..=max_g).collect(),
+        };
+
+        let mut best: Option<(f64, usize, Vec<Vec<TaskId>>)> = None;
+        for &g in &candidates {
+            let sizes = equal_partition(total, g);
+            let (t_act, assignment) = self.assign_lpt(tasks, &sizes);
+            if best.as_ref().is_none_or(|(bt, _, _)| t_act < *bt) {
+                best = Some((t_act, g, assignment));
+            }
+        }
+        let (_, g, assignment) = best.expect("at least one candidate group count");
+
+        // Group adjustment: resize proportionally to assigned work.
+        let sizes = if self.adjust && g > 1 {
+            let work: Vec<f64> = assignment
+                .iter()
+                .map(|group| {
+                    group
+                        .iter()
+                        .map(|t| self.seq_time(tasks, *t))
+                        .sum::<f64>()
+                })
+                .collect();
+            adjust_group_sizes(&work, total)
+        } else {
+            equal_partition(total, g)
+        };
+        (sizes, assignment)
+    }
+
+    /// Sequential compute time of a task (the `Tcomp` used by `Tseq(G_l)`).
+    fn seq_time(&self, tasks: &[(TaskId, &MTask)], id: TaskId) -> f64 {
+        let task = tasks
+            .iter()
+            .find(|(t, _)| *t == id)
+            .map(|(_, m)| *m)
+            .expect("task belongs to the layer");
+        self.model.spec.compute_time(task.work)
+    }
+
+    /// The modified greedy assignment (Algorithm 1 line 10): tasks in
+    /// decreasing symbolic time, each to the subset with the smallest
+    /// accumulated time.  Returns the layer makespan `Tact` and the
+    /// assignment.
+    fn assign_lpt(
+        &self,
+        tasks: &[(TaskId, &MTask)],
+        sizes: &[usize],
+    ) -> (f64, Vec<Vec<TaskId>>) {
+        let g = sizes.len();
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        let times: Vec<f64> = tasks
+            .iter()
+            .map(|(_, m)| self.model.task_time_symbolic(m, sizes[0]))
+            .collect();
+        order.sort_by(|&a, &b| times[b].total_cmp(&times[a]));
+
+        let mut acc = vec![0.0f64; g];
+        let mut assignment: Vec<Vec<TaskId>> = vec![Vec::new(); g];
+        for idx in order {
+            let (task_id, m) = tasks[idx];
+            // Subset with the smallest accumulated execution time.
+            let l = (0..g)
+                .min_by(|&a, &b| acc[a].total_cmp(&acc[b]))
+                .unwrap();
+            acc[l] += self.model.task_time_symbolic(m, sizes[l]);
+            assignment[l].push(task_id);
+        }
+        let t_act = acc.iter().copied().fold(0.0, f64::max);
+        (t_act, assignment)
+    }
+}
+
+/// The pure data-parallel reference schedule: every task executes on all
+/// cores, one after another (the `dp` program versions of §4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct DataParallel;
+
+impl DataParallel {
+    /// Build the data-parallel schedule for a graph.
+    pub fn schedule(graph: &TaskGraph, total_cores: usize) -> LayeredSchedule {
+        let ls: Vec<LayerSchedule> = layers(graph)
+            .into_iter()
+            .map(|layer| LayerSchedule {
+                group_sizes: vec![total_cores],
+                assignments: vec![layer],
+            })
+            .collect();
+        LayeredSchedule {
+            total_cores,
+            layers: ls,
+        }
+    }
+}
+
+/// Maximum task parallelism: every layer uses as many groups as it has
+/// tasks (with adjustment), the other extreme of the design space.
+#[derive(Debug, Clone)]
+pub struct MaxParallel<'a> {
+    /// Underlying cost model.
+    pub model: &'a CostModel<'a>,
+}
+
+impl<'a> MaxParallel<'a> {
+    /// Build the maximally task-parallel schedule.
+    pub fn schedule(&self, graph: &TaskGraph) -> LayeredSchedule {
+        let total = self.model.spec.total_cores();
+        let cg = ChainGraph::contract(graph);
+        let mut out = LayeredSchedule {
+            total_cores: total,
+            layers: Vec::new(),
+        };
+        for layer in layers(&cg.graph) {
+            let tasks: Vec<(TaskId, &MTask)> =
+                layer.iter().map(|&t| (t, cg.graph.task(t))).collect();
+            let sched = LayerScheduler::new(self.model).with_fixed_groups(layer.len());
+            let (sizes, assignment) = sched.schedule_layer(&tasks, total);
+            let assignments = assignment
+                .into_iter()
+                .map(|ts| {
+                    ts.into_iter()
+                        .flat_map(|c| cg.members[c.0].iter().copied())
+                        .collect()
+                })
+                .collect();
+            out.layers.push(LayerSchedule {
+                group_sizes: sizes,
+                assignments,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_machine::platforms;
+    use pt_mtask::{CommOp, Spec};
+
+    /// EPOL-shaped one-time-step graph (paper Fig. 5): R chains of 1..R
+    /// micro steps plus a combine task.
+    fn epol_step_graph(r: usize, micro_work: f64, n_bytes: f64) -> TaskGraph {
+        let spec = Spec::seq(vec![
+            Spec::parfor(1..=r, |i| {
+                Spec::for_loop(1..=i, |j| {
+                    let mut s = Spec::task(MTask::with_comm(
+                        format!("step({j},{i})"),
+                        micro_work,
+                        vec![CommOp::allgather(n_bytes, 1.0)],
+                    ))
+                    .uses(["eta"]);
+                    if j > 1 {
+                        s = s.uses([format!("V{i}")]);
+                    }
+                    s.defines([pt_mtask::DataRef::orthogonal(format!("V{i}"), n_bytes)])
+                })
+            }),
+            Spec::task(MTask::with_comm(
+                "combine",
+                micro_work,
+                vec![CommOp::bcast(n_bytes, 1.0)],
+            ))
+            .uses((1..=r).map(|i| format!("V{i}")))
+            .defines([pt_mtask::DataRef::replicated("eta", n_bytes)]),
+        ]);
+        spec.compile_flat()
+    }
+
+    #[test]
+    fn epol_schedule_balances_chains() {
+        // Paper §4.2: for EPOL the scheduler pairs approximation i with
+        // R−i+1 so every subset computes the same number of micro steps.
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let r = 4;
+        let g = epol_step_graph(r, 1e9, 8_000.0);
+        let sched = LayerScheduler::new(&model).with_fixed_groups(r / 2).schedule(&g);
+        assert!(sched.validate().is_ok());
+        // First layer: two groups; micro-step counts must be equal (1+4 and
+        // 2+3).
+        let l0 = &sched.layers[0];
+        assert_eq!(l0.num_groups(), 2);
+        let counts: Vec<usize> = l0.assignments.iter().map(Vec::len).collect();
+        assert_eq!(counts, vec![5, 5]);
+        // Equal work ⇒ equal adjusted sizes.
+        assert_eq!(l0.group_sizes[0], l0.group_sizes[1]);
+    }
+
+    #[test]
+    fn sweep_finds_interior_group_count_for_epol() {
+        let spec = platforms::chic().with_nodes(16);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(8, 2e9, 800_000.0);
+        let sched = LayerScheduler::new(&model).schedule(&g);
+        let g0 = sched.layers[0].num_groups();
+        assert!(
+            g0 > 1 && g0 <= 8,
+            "expected a task-parallel split, got {g0} groups"
+        );
+    }
+
+    #[test]
+    fn schedule_covers_every_nonstructural_task() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(4, 1e8, 8_000.0);
+        let sched = LayerScheduler::new(&model).schedule(&g);
+        let scheduled: std::collections::HashSet<TaskId> = sched
+            .layers
+            .iter()
+            .flat_map(|l| l.assignments.iter().flatten().copied())
+            .collect();
+        for t in g.task_ids() {
+            if !g.task(t).is_structural() {
+                assert!(scheduled.contains(&t), "{:?} missing", g.task(t).name);
+            }
+        }
+    }
+
+    #[test]
+    fn data_parallel_uses_all_cores_everywhere() {
+        let g = epol_step_graph(4, 1e8, 8_000.0);
+        let sched = DataParallel::schedule(&g, 32);
+        assert!(sched.validate().is_ok());
+        for layer in &sched.layers {
+            assert_eq!(layer.group_sizes, vec![32]);
+        }
+    }
+
+    #[test]
+    fn max_parallel_uses_one_group_per_task() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(4, 1e8, 8_000.0);
+        let sched = MaxParallel { model: &model }.schedule(&g);
+        assert_eq!(sched.layers[0].num_groups(), 4);
+        assert!(sched.validate().is_ok());
+    }
+
+    #[test]
+    fn adjustment_gives_longer_chains_more_cores() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(4, 1e9, 8_000.0);
+        // Force 4 groups: chains of 1..4 micro steps each in its own group
+        // (Fig. 6 right).
+        let sched = LayerScheduler::new(&model).with_fixed_groups(4).schedule(&g);
+        let l0 = &sched.layers[0];
+        // Collect (micro steps, size) pairs and check monotonicity.
+        let mut pairs: Vec<(usize, usize)> = l0
+            .assignments
+            .iter()
+            .zip(&l0.group_sizes)
+            .map(|(ts, &s)| (ts.len(), s))
+            .collect();
+        pairs.sort();
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].1 <= w[1].1,
+                "group with more micro steps must not get fewer cores: {pairs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_adjustment_keeps_equal_sizes() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(4, 1e9, 8_000.0);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(4)
+            .without_adjustment()
+            .schedule(&g);
+        let sizes = &sched.layers[0].group_sizes;
+        assert!(sizes.iter().all(|&s| s == sizes[0]));
+    }
+
+    #[test]
+    fn lpt_balances_unequal_independent_tasks() {
+        // 6 independent tasks with works 5,4,3,3,2,1 on 2 groups: LPT gives
+        // 5+3+1 = 9 vs 4+3+2 = 9.
+        let spec = platforms::chic().with_nodes(1);
+        let model = CostModel::new(&spec);
+        let mut g = TaskGraph::new();
+        for (i, w) in [5.0, 4.0, 3.0, 3.0, 2.0, 1.0].iter().enumerate() {
+            g.add_task(MTask::compute(format!("t{i}"), w * 1e9));
+        }
+        let sched = LayerScheduler::new(&model).with_fixed_groups(2).schedule(&g);
+        let l0 = &sched.layers[0];
+        let work: Vec<f64> = l0
+            .assignments
+            .iter()
+            .map(|ts| ts.iter().map(|t| g.task(*t).work).sum())
+            .collect();
+        assert!((work[0] - work[1]).abs() < 1e-6, "{work:?}");
+    }
+
+    #[test]
+    fn single_task_layer_gets_all_cores() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let mut g = TaskGraph::new();
+        g.add_task(MTask::compute("only", 1e9));
+        let sched = LayerScheduler::new(&model).schedule(&g);
+        assert_eq!(sched.layers.len(), 1);
+        assert_eq!(sched.layers[0].group_sizes, vec![16]);
+    }
+
+    #[test]
+    fn chain_members_stay_in_one_group_in_order() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(4, 1e8, 8_000.0);
+        let sched = LayerScheduler::new(&model).with_fixed_groups(2).schedule(&g);
+        // Find the group containing step(1,4): it must contain 4 micro
+        // steps of approximation 4 in ascending j order.
+        let l0 = &sched.layers[0];
+        for tasks in &l0.assignments {
+            let names: Vec<&str> = tasks.iter().map(|t| g.task(*t).name.as_str()).collect();
+            let steps4: Vec<usize> = names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.ends_with(",4)"))
+                .map(|(i, _)| i)
+                .collect();
+            if !steps4.is_empty() {
+                assert_eq!(steps4.len(), 4, "chain must not split: {names:?}");
+                for w in steps4.windows(2) {
+                    assert_eq!(w[1], w[0] + 1, "chain order broken: {names:?}");
+                }
+            }
+        }
+    }
+}

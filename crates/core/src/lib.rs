@@ -1,0 +1,38 @@
+//! Combined scheduling and mapping for M-task programs — the paper's core
+//! contribution (§3).
+//!
+//! Executing an M-task program on a hierarchical multi-core machine takes
+//! three decisions:
+//!
+//! 1. **Scheduling** — the execution order of the M-tasks and the *number*
+//!    of (symbolic) cores per task.  The paper's layer-based algorithm
+//!    ([`LayerScheduler`], its Algorithm 1) contracts linear chains,
+//!    partitions the graph into layers of independent tasks, sweeps the
+//!    group count `g = 1..P` per layer with a greedy LPT assignment, and
+//!    finally adjusts group sizes to the assigned work.  The baselines
+//!    [`Cpa`] and [`Cpr`] (Radulescu & van Gemund) are provided for the
+//!    comparison of the paper's Fig. 13, as are the trivial
+//!    [`DataParallel`] and [`MaxParallel`] reference schedules.
+//! 2. **Mapping** — the assignment of symbolic to physical cores
+//!    ([`MappingStrategy`]: consecutive, scattered, mixed(d); §3.4).
+//! 3. **Hybrid layout** — optionally folding consecutive same-node cores of
+//!    one task into a single process with threads ([`hybrid`], §4.7).
+
+pub mod adjust;
+pub mod cpa;
+pub mod cpr;
+pub mod hybrid;
+pub mod layer_sched;
+pub mod list;
+pub mod mapping;
+pub mod schedule;
+pub mod two_level;
+
+pub use adjust::adjust_group_sizes;
+pub use cpa::Cpa;
+pub use cpr::Cpr;
+pub use hybrid::{hybrid_task_time, HybridConfig, Process, ProcessLayout};
+pub use layer_sched::{DataParallel, LayerScheduler, MaxParallel};
+pub use mapping::{Mapping, MappingStrategy};
+pub use schedule::{LayerSchedule, LayeredSchedule, ScheduledTask, SymbolicSchedule};
+pub use two_level::TwoLevelSchedule;

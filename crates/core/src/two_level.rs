@@ -1,0 +1,175 @@
+//! Hierarchical scheduling of two-level M-task programs (paper §2.2.3).
+//!
+//! The CM-task compiler represents a time-stepping loop as a single node of
+//! the *upper-level* graph whose body is a *lower-level* graph.  "The
+//! M-task graphs are scheduled using a hierarchical approach, which means
+//! that the available processors or cores for scheduling the lower level
+//! M-task graph are determined by the processors or cores assigned to the
+//! while loop in the schedule of the upper level M-task graph."
+
+use crate::layer_sched::LayerScheduler;
+use crate::schedule::LayeredSchedule;
+use pt_mtask::{MTask, TaskGraph, TaskId};
+use std::collections::HashMap;
+
+/// A hierarchical schedule: the upper-level schedule plus one lower-level
+/// schedule per loop node, expressed over the loop's assigned core count.
+#[derive(Debug, Clone)]
+pub struct TwoLevelSchedule {
+    /// Schedule of the upper-level graph.
+    pub upper: LayeredSchedule,
+    /// Per loop node: the (symbolic-core offset within the upper schedule,
+    /// lower-level schedule over the loop's cores).
+    pub loops: HashMap<TaskId, (usize, LayeredSchedule)>,
+}
+
+impl<'a> LayerScheduler<'a> {
+    /// Schedule a graph onto an explicit number of symbolic cores (used for
+    /// the lower level, where the core count is whatever the upper level
+    /// assigned to the loop node).
+    pub fn schedule_on(&self, graph: &TaskGraph, total: usize) -> LayeredSchedule {
+        assert!(total >= 1);
+        let cg = if self.contract_chains {
+            pt_mtask::ChainGraph::contract(graph)
+        } else {
+            identity_chain_graph(graph)
+        };
+        let mut out = LayeredSchedule {
+            total_cores: total,
+            layers: Vec::new(),
+        };
+        for layer in pt_mtask::layers(&cg.graph) {
+            let tasks: Vec<(TaskId, &MTask)> =
+                layer.iter().map(|&t| (t, cg.graph.task(t))).collect();
+            let (sizes, assignment) = self.schedule_layer(&tasks, total);
+            let assignments = assignment
+                .into_iter()
+                .map(|ts| {
+                    ts.into_iter()
+                        .flat_map(|c| cg.members[c.0].iter().copied())
+                        .collect()
+                })
+                .collect();
+            out.layers.push(crate::schedule::LayerSchedule {
+                group_sizes: sizes,
+                assignments,
+            });
+        }
+        out
+    }
+
+    /// Hierarchical scheduling of a compiled two-level program: schedule
+    /// the upper graph on the full machine, then schedule every loop body
+    /// on the cores its loop node received.
+    pub fn schedule_two_level(
+        &self,
+        prog: &pt_mtask::TwoLevelProgram,
+    ) -> TwoLevelSchedule {
+        let upper = self.schedule(&prog.upper);
+        let mut loops = HashMap::new();
+        for (&loop_id, body) in &prog.loops {
+            // Find the loop node's group in the upper schedule.
+            let (offset, size) = upper
+                .layers
+                .iter()
+                .find_map(|layer| {
+                    layer.assignments.iter().enumerate().find_map(|(g, ts)| {
+                        ts.contains(&loop_id)
+                            .then(|| (layer.group_range(g).start, layer.group_sizes[g]))
+                    })
+                })
+                .expect("loop node appears in the upper schedule");
+            let inner = self.schedule_on(&body.graph, size);
+            loops.insert(loop_id, (offset, inner));
+        }
+        TwoLevelSchedule { upper, loops }
+    }
+}
+
+/// A "contraction" that keeps every task separate (the no-contraction
+/// ablation).
+fn identity_chain_graph(graph: &TaskGraph) -> pt_mtask::ChainGraph {
+    pt_mtask::ChainGraph {
+        graph: graph.clone(),
+        members: graph.task_ids().map(|t| vec![t]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_cost::CostModel;
+    use pt_machine::platforms;
+    use pt_mtask::{CommOp, DataRef, Spec};
+
+    fn epol_like_program(r: usize) -> pt_mtask::TwoLevelProgram {
+        Spec::seq(vec![
+            Spec::task(MTask::compute("init", 1e6))
+                .defines([DataRef::replicated("eta", 8e3)]),
+            Spec::while_loop(
+                "stepping",
+                10.0,
+                Spec::seq(vec![
+                    Spec::parfor(1..=r, |i| {
+                        Spec::task(MTask::with_comm(
+                            format!("stage{i}"),
+                            1e9,
+                            vec![CommOp::allgather(8e3, 1.0)],
+                        ))
+                        .uses(["eta"])
+                        .defines([DataRef::block(format!("V{i}"), 8e3)])
+                    }),
+                    Spec::task(MTask::compute("combine", 1e7))
+                        .uses((1..=r).map(|i| format!("V{i}")))
+                        .defines([DataRef::replicated("eta", 8e3)]),
+                ]),
+            ),
+        ])
+        .compile()
+    }
+
+    #[test]
+    fn two_level_schedule_covers_upper_and_inner() {
+        let prog = epol_like_program(4);
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let sched = LayerScheduler::new(&model).schedule_two_level(&prog);
+        assert!(sched.upper.validate().is_ok());
+        assert_eq!(sched.loops.len(), 1);
+        let (&loop_id, body) = prog.loops.iter().next().unwrap();
+        let (offset, inner) = &sched.loops[&loop_id];
+        assert!(inner.validate().is_ok());
+        // The loop node occupies all cores (it's alone in its layer), so
+        // the inner schedule spans the machine.
+        assert_eq!(*offset, 0);
+        assert_eq!(inner.total_cores, 32);
+        // The inner stage layer has a task-parallel split.
+        let stage_layer = &inner.layers[0];
+        assert!(stage_layer.num_groups() >= 1);
+        let scheduled: usize = inner
+            .layers
+            .iter()
+            .map(|l| l.assignments.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        // All non-structural body tasks are scheduled.
+        let body_tasks = body
+            .graph
+            .task_ids()
+            .filter(|t| !body.graph.task(*t).is_structural())
+            .count();
+        assert_eq!(scheduled, body_tasks);
+    }
+
+    #[test]
+    fn schedule_on_respects_reduced_core_count() {
+        let prog = epol_like_program(4);
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let body = prog.time_step_graph();
+        let sched = LayerScheduler::new(&model).schedule_on(body, 12);
+        assert_eq!(sched.total_cores, 12);
+        for layer in &sched.layers {
+            assert_eq!(layer.group_sizes.iter().sum::<usize>(), 12);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Collective communication and task execution cost model.
+
+use crate::context::CommContext;
+use pt_machine::{ClusterSpec, CommLevel, CoreId};
+use pt_mtask::{CollectiveKind, CommOp, MTask};
+
+/// Per-member block-size threshold above which the allgather uses the
+/// ring algorithm (mirrors the large-message switch of MVAPICH/MPT, which
+/// the paper identifies as the source of the consecutive-mapping
+/// advantage, §4.4); below it the log-depth recursive doubling is used.
+pub const DEFAULT_RING_THRESHOLD: f64 = 4.0 * 1024.0;
+
+/// Message size above which a broadcast uses the scatter + allgather (van
+/// de Geijn) algorithm instead of a binomial tree.
+pub const DEFAULT_SAG_BCAST_THRESHOLD: f64 = 64.0 * 1024.0;
+
+/// The mapping-aware cost model for one cluster.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    /// The platform.
+    pub spec: &'a ClusterSpec,
+    /// Allgather algorithm switch point (per-member block bytes).
+    pub ring_threshold: f64,
+}
+
+impl<'a> CostModel<'a> {
+    /// Model with default algorithm thresholds.
+    pub fn new(spec: &'a ClusterSpec) -> Self {
+        CostModel {
+            spec,
+            ring_threshold: DEFAULT_RING_THRESHOLD,
+        }
+    }
+
+    /// Point-to-point transfer time between two cores under NIC contention.
+    pub fn p2p(&self, ctx: &CommContext, a: CoreId, b: CoreId, bytes: f64) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let level = self.spec.level(a, b);
+        let link = self.spec.link_at(level);
+        if level == CommLevel::CrossNode {
+            let na = self.spec.label(a).node;
+            let nb = self.spec.label(b).node;
+            let share = ctx.sharing(na).max(ctx.sharing(nb));
+            let eff_bw = link
+                .bytes_per_s
+                .min(self.spec.nic_bytes_per_s / share);
+            link.latency_s + bytes / eff_bw
+        } else {
+            link.transfer_time(bytes)
+        }
+    }
+
+    /// Time of one communication *step* in which all the given core pairs
+    /// transfer `bytes` simultaneously.
+    ///
+    /// Crossing flows that leave or enter the same node share that node's
+    /// NIC: the effective bandwidth of a flow is
+    /// `min(link, nic / (flows_on_src_nic · sharers), nic / (flows_on_dst_nic · sharers))`.
+    /// This intra-collective contention is what makes a ring allgather over
+    /// scattered cores slow — every rank sends cross-node at once — while a
+    /// consecutive layout crosses each node boundary exactly once.
+    pub fn step_time(&self, ctx: &CommContext, pairs: &[(CoreId, CoreId)], bytes: f64) -> f64 {
+        let mut out_flows = vec![0.0f64; self.spec.nodes];
+        let mut in_flows = vec![0.0f64; self.spec.nodes];
+        for &(a, b) in pairs {
+            if self.spec.level(a, b) == CommLevel::CrossNode {
+                out_flows[self.spec.label(a).node] += 1.0;
+                in_flows[self.spec.label(b).node] += 1.0;
+            }
+        }
+        let mut worst = 0.0f64;
+        for &(a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            let level = self.spec.level(a, b);
+            let link = self.spec.link_at(level);
+            let t = if level == CommLevel::CrossNode {
+                let na = self.spec.label(a).node;
+                let nb = self.spec.label(b).node;
+                let nic = self.spec.nic_bytes_per_s;
+                let eff = link
+                    .bytes_per_s
+                    .min(nic / (out_flows[na] * ctx.sharing(na)))
+                    .min(nic / (in_flows[nb] * ctx.sharing(nb)));
+                link.latency_s + bytes / eff
+            } else {
+                link.transfer_time(bytes)
+            };
+            worst = worst.max(t);
+        }
+        worst
+    }
+
+    /// Broadcast of `bytes` from `cores[0]` to the whole group.
+    ///
+    /// Small messages use a binomial tree over rank distances (round `k`
+    /// pairs rank `i` with `i + 2^k`); large messages use the van de Geijn
+    /// scatter + allgather scheme real MPI libraries switch to, whose
+    /// allgather phase inherits the ring's mapping sensitivity.
+    pub fn bcast(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
+        let q = cores.len();
+        if q <= 1 {
+            return 0.0;
+        }
+        if bytes >= DEFAULT_SAG_BCAST_THRESHOLD && q > 4 {
+            // Binomial scatter: the root first ships half the payload to
+            // the far half, then the halves recurse (payload and reach
+            // halve together).
+            let mut time = 0.0;
+            let mut reach = q.next_power_of_two() / 2;
+            let mut chunk = bytes / 2.0;
+            while reach >= 1 {
+                let pairs: Vec<(CoreId, CoreId)> = (0..q)
+                    .filter_map(|src| {
+                        let dst = src + reach;
+                        ((src / reach).is_multiple_of(2) && dst < q).then(|| (cores[src], cores[dst]))
+                    })
+                    .collect();
+                if !pairs.is_empty() {
+                    time += self.step_time(ctx, &pairs, chunk);
+                }
+                chunk /= 2.0;
+                reach /= 2;
+            }
+            return time + self.allgather(ctx, cores, bytes);
+        }
+        let mut time = 0.0;
+        let mut reach = 1usize;
+        while reach < q {
+            let pairs: Vec<(CoreId, CoreId)> = (0..reach.min(q))
+                .filter_map(|src| {
+                    let dst = src + reach;
+                    (dst < q).then(|| (cores[src], cores[dst]))
+                })
+                .collect();
+            time += self.step_time(ctx, &pairs, bytes);
+            reach *= 2;
+        }
+        time
+    }
+
+    /// Allgather (*multi-broadcast*) over the group; `total_bytes` is the
+    /// gathered volume (each member contributes `total_bytes / q`).
+    ///
+    /// Large totals use the ring algorithm: `q−1` steps in which every rank
+    /// sends its current block to the next rank in rank order — under a
+    /// consecutive mapping these neighbour links are almost all intra-node.
+    /// Small totals use recursive doubling (log-depth, distance-doubling
+    /// partners).
+    pub fn allgather(&self, ctx: &CommContext, cores: &[CoreId], total_bytes: f64) -> f64 {
+        let q = cores.len();
+        if q <= 1 {
+            return 0.0;
+        }
+        let block = total_bytes / q as f64;
+        if block >= self.ring_threshold && q > 2 {
+            self.allgather_ring(ctx, cores, block)
+        } else {
+            self.allgather_rd(ctx, cores, block)
+        }
+    }
+
+    fn allgather_ring(&self, ctx: &CommContext, cores: &[CoreId], block: f64) -> f64 {
+        let q = cores.len();
+        // All q−1 steps use the same neighbour links simultaneously; each
+        // step moves one block per rank to its successor.
+        let pairs: Vec<(CoreId, CoreId)> =
+            (0..q).map(|i| (cores[i], cores[(i + 1) % q])).collect();
+        (q - 1) as f64 * self.step_time(ctx, &pairs, block)
+    }
+
+    fn allgather_rd(&self, ctx: &CommContext, cores: &[CoreId], block: f64) -> f64 {
+        let q = cores.len();
+        // Recursive doubling on ⌈log2 q⌉ rounds; non-power-of-two groups pay
+        // an extra fix-up round (as in MPI implementations).
+        let mut time = 0.0;
+        let mut dist = 1usize;
+        let mut chunk = block;
+        while dist < q {
+            let mut pairs = Vec::new();
+            for i in 0..q {
+                let j = i ^ dist;
+                if j < q && j > i {
+                    pairs.push((cores[i], cores[j]));
+                    pairs.push((cores[j], cores[i]));
+                }
+            }
+            time += self.step_time(ctx, &pairs, chunk);
+            chunk *= 2.0;
+            dist *= 2;
+        }
+        if !q.is_power_of_two() {
+            // Fix-up: one extra exchange of the remainder blocks.
+            let pairs: Vec<(CoreId, CoreId)> =
+                (0..q).map(|i| (cores[i], cores[(i + 1) % q])).collect();
+            time += self.step_time(ctx, &pairs, block);
+        }
+        time
+    }
+
+    /// Allreduce over the group: recursive-doubling exchange of the full
+    /// vector per round.
+    pub fn allreduce(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
+        let q = cores.len();
+        if q <= 1 {
+            return 0.0;
+        }
+        let rounds = (q as f64).log2().ceil() as usize;
+        let mut time = 0.0;
+        let mut dist = 1usize;
+        for _ in 0..rounds {
+            let mut pairs = Vec::new();
+            for i in 0..q {
+                let j = i ^ dist;
+                if j < q && j > i {
+                    pairs.push((cores[i], cores[j]));
+                    pairs.push((cores[j], cores[i]));
+                }
+            }
+            let round = if pairs.is_empty() {
+                // Non-power-of-two fallback: charge the worst group link.
+                self.worst_link_time(ctx, cores, bytes)
+            } else {
+                self.step_time(ctx, &pairs, bytes)
+            };
+            time += round;
+            dist *= 2;
+        }
+        time
+    }
+
+    /// Pure synchronisation: an 8-byte allreduce.
+    pub fn barrier(&self, ctx: &CommContext, cores: &[CoreId]) -> f64 {
+        self.allreduce(ctx, cores, 8.0)
+    }
+
+    /// Halo exchange with both rank neighbours.
+    pub fn neighbor_exchange(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
+        let q = cores.len();
+        if q <= 1 {
+            return 0.0;
+        }
+        let mut pairs = Vec::with_capacity(2 * (q - 1));
+        for i in 0..q - 1 {
+            pairs.push((cores[i], cores[i + 1]));
+            pairs.push((cores[i + 1], cores[i]));
+        }
+        2.0 * self.step_time(ctx, &pairs, bytes)
+    }
+
+    fn worst_link_time(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..cores.len() {
+            for j in i + 1..cores.len() {
+                worst = worst.max(self.p2p(ctx, cores[i], cores[j], bytes));
+            }
+        }
+        worst
+    }
+
+    /// Time of a single internal communication operation on a group.
+    pub fn comm_op(&self, ctx: &CommContext, cores: &[CoreId], op: &CommOp) -> f64 {
+        let once = match op.kind {
+            CollectiveKind::Broadcast => self.bcast(ctx, cores, op.bytes),
+            CollectiveKind::Allgather => self.allgather(ctx, cores, op.bytes),
+            CollectiveKind::Allreduce => self.allreduce(ctx, cores, op.bytes),
+            CollectiveKind::Barrier => self.barrier(ctx, cores),
+            CollectiveKind::NeighborExchange => self.neighbor_exchange(ctx, cores, op.bytes),
+        };
+        once * op.count
+    }
+
+    /// `T(M, q, mp)`: full execution time of an M-task on the given physical
+    /// cores (the mapping pattern *is* the identity of those cores).
+    pub fn task_time(&self, ctx: &CommContext, task: &MTask, cores: &[CoreId]) -> f64 {
+        let useful = match task.max_cores {
+            Some(cap) => &cores[..cores.len().min(cap)],
+            None => cores,
+        };
+        if useful.is_empty() {
+            return 0.0;
+        }
+        let compute = self.spec.compute_time(task.work) / useful.len() as f64;
+        let comm: f64 = task
+            .comm
+            .iter()
+            .map(|op| self.comm_op(ctx, useful, op))
+            .sum();
+        compute + comm
+    }
+
+    /// Concurrent allgathers of several groups (the Multi-Allgather pattern
+    /// of the Intel MPI benchmark, and the orthogonal exchange of the ODE
+    /// solvers): every group runs its allgather at the same time, sharing
+    /// node NICs.  Returns the slowest group's time.
+    pub fn multi_allgather<G: AsRef<[CoreId]>>(&self, groups: &[G], total_bytes: f64) -> f64 {
+        let ctx = CommContext::from_groups(self.spec, groups);
+        groups
+            .iter()
+            .map(|g| self.allgather(&ctx, g.as_ref(), total_bytes))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_machine::platforms;
+
+    fn cores(ids: &[usize]) -> Vec<CoreId> {
+        ids.iter().map(|&i| CoreId(i)).collect()
+    }
+
+    #[test]
+    fn p2p_levels_are_ordered() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let bytes = 1e6;
+        let same_proc = m.p2p(&ctx, CoreId(0), CoreId(1), bytes);
+        let same_node = m.p2p(&ctx, CoreId(0), CoreId(2), bytes);
+        let cross = m.p2p(&ctx, CoreId(0), CoreId(4), bytes);
+        assert!(same_proc < same_node && same_node < cross);
+        assert_eq!(m.p2p(&ctx, CoreId(3), CoreId(3), bytes), 0.0);
+    }
+
+    #[test]
+    fn contention_slows_cross_node_only() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let mut ctx = CommContext::uniform(&spec);
+        let quiet = m.p2p(&ctx, CoreId(0), CoreId(4), 1e6);
+        ctx.sharers[0] = 4.0;
+        let busy = m.p2p(&ctx, CoreId(0), CoreId(4), 1e6);
+        assert!(busy > quiet);
+        let local_quiet = m.p2p(&ctx, CoreId(0), CoreId(1), 1e6);
+        let ctx2 = CommContext::uniform(&spec);
+        assert_eq!(local_quiet, m.p2p(&ctx2, CoreId(0), CoreId(1), 1e6));
+    }
+
+    #[test]
+    fn collectives_are_zero_for_singletons() {
+        let spec = platforms::chic();
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let g = cores(&[3]);
+        assert_eq!(m.bcast(&ctx, &g, 1e6), 0.0);
+        assert_eq!(m.allgather(&ctx, &g, 1e6), 0.0);
+        assert_eq!(m.allreduce(&ctx, &g, 1e6), 0.0);
+    }
+
+    #[test]
+    fn ring_allgather_prefers_consecutive_mapping() {
+        // 16 cores on 4 CHiC nodes: consecutive = ranks fill nodes;
+        // scattered = round-robin over nodes.
+        let spec = platforms::chic().with_nodes(4);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let consecutive: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let scattered: Vec<CoreId> = (0..16).map(|i| CoreId((i % 4) * 4 + i / 4)).collect();
+        let big = 4.0 * 1024.0 * 1024.0;
+        let t_cons = m.allgather(&ctx, &consecutive, big);
+        let t_scat = m.allgather(&ctx, &scattered, big);
+        assert!(
+            t_cons < t_scat,
+            "consecutive {t_cons} should beat scattered {t_scat}"
+        );
+    }
+
+    #[test]
+    fn small_allgather_uses_log_depth() {
+        let spec = platforms::chic().with_nodes(4);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let group: Vec<CoreId> = (0..16).map(CoreId).collect();
+        // With tiny messages, time should be close to rounds × latency, far
+        // below the ring's 15 × latency.
+        let t = m.allgather(&ctx, &group, 64.0);
+        let ring_floor = 15.0 * spec.inter_node.latency_s;
+        assert!(t < ring_floor);
+    }
+
+    #[test]
+    fn bcast_grows_with_group_span() {
+        let spec = platforms::chic().with_nodes(8);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let node_local = cores(&[0, 1, 2, 3]);
+        let spread: Vec<CoreId> = (0..4).map(|i| CoreId(i * 4)).collect();
+        let b = 1e5;
+        assert!(m.bcast(&ctx, &node_local, b) < m.bcast(&ctx, &spread, b));
+    }
+
+    #[test]
+    fn multi_allgather_concurrent_groups_consecutive_vs_scattered() {
+        // Fig 14 (right) shape: 4 groups × 16 cores on 16 CHiC nodes.
+        let spec = platforms::chic().with_nodes(16);
+        let m = CostModel::new(&spec);
+        let big = 1024.0 * 1024.0;
+        // Consecutive: group g = cores of nodes 4g..4g+4.
+        let consecutive: Vec<Vec<CoreId>> = (0..4)
+            .map(|g| (0..16).map(|i| CoreId(g * 16 + i)).collect())
+            .collect();
+        // Scattered: group g = core position g of every node slot.
+        let scattered: Vec<Vec<CoreId>> = (0..4)
+            .map(|g| (0..16).map(|n| CoreId(n * 4 + g)).collect())
+            .collect();
+        let t_cons = m.multi_allgather(&consecutive, big);
+        let t_scat = m.multi_allgather(&scattered, big);
+        assert!(
+            t_cons < t_scat,
+            "group-based comm must favour consecutive ({t_cons} vs {t_scat})"
+        );
+    }
+
+    #[test]
+    fn multi_allgather_orthogonal_sets_favour_scattered_app_mapping() {
+        // 64 orthogonal sets of 4 cores each on 64 CHiC nodes (256 cores).
+        // Under a scattered *application* mapping, each orthogonal set is
+        // node-local; under a consecutive application mapping each set
+        // spans 4 nodes.
+        let spec = platforms::chic().with_nodes(64);
+        let m = CostModel::new(&spec);
+        let big = 256.0 * 1024.0;
+        // Orthogonal sets when the app used scattered mapping of 4 groups:
+        // set j = the 4 cores of node j.
+        let sets_scat_app: Vec<Vec<CoreId>> = (0..64)
+            .map(|n| (0..4).map(|c| CoreId(n * 4 + c)).collect())
+            .collect();
+        // Orthogonal sets when the app used consecutive mapping of 4 groups
+        // of 64 cores: set j = {j, j+64, j+128, j+192}.
+        let sets_cons_app: Vec<Vec<CoreId>> = (0..64)
+            .map(|j| (0..4).map(|g| CoreId(g * 64 + j)).collect())
+            .collect();
+        let t_scat_app = m.multi_allgather(&sets_scat_app, big);
+        let t_cons_app = m.multi_allgather(&sets_cons_app, big);
+        assert!(
+            t_scat_app < t_cons_app,
+            "orthogonal comm must favour scattered app mapping ({t_scat_app} vs {t_cons_app})"
+        );
+    }
+
+    #[test]
+    fn allgather_time_increases_with_bytes() {
+        let spec = platforms::juropa().with_nodes(4);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let g: Vec<CoreId> = (0..32).map(CoreId).collect();
+        let mut prev = 0.0;
+        for kb in [1.0, 16.0, 64.0, 512.0, 4096.0] {
+            let t = m.allgather(&ctx, &g, kb * 1024.0);
+            assert!(t > prev, "allgather time must grow with message size");
+            prev = t;
+        }
+    }
+}

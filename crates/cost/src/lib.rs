@@ -1,0 +1,81 @@
+//! Mapping-aware communication and execution cost model (paper §3.1).
+//!
+//! The execution time of an M-task `M` on `q` cores with mapping pattern
+//! `mp` is modelled as
+//!
+//! ```text
+//! T(M, q, mp) = Tcomp(M) / q + Tcomm(M, q, mp)
+//! ```
+//!
+//! where the computational part assumes linear speedup (the paper's stated
+//! simplification) and the communication part depends on *which physical
+//! cores* execute the task: a message between two cores is charged with the
+//! [`LinkParams`](pt_machine::LinkParams) of the deepest machine-tree level
+//! containing both ([`pt_machine::CommLevel`]).
+//!
+//! Collectives are modelled after the algorithms real MPI libraries use —
+//! and which the paper identifies as the cause of the mapping effects
+//! (§4.4): a **ring** allgather for large messages (so consecutive mappings
+//! put the ring's neighbour links inside nodes), **recursive doubling** for
+//! small allgathers, and a **binomial tree** broadcast.
+//!
+//! Concurrent communication of several groups shares node NICs; a
+//! [`CommContext`] carries a per-node sharing factor that divides the
+//! effective inter-node bandwidth, reproducing the Multi-Allgather
+//! behaviour of the paper's Fig. 14 (right).
+
+pub mod collectives;
+pub mod context;
+pub mod redist;
+pub mod symbolic;
+
+pub use collectives::CostModel;
+pub use context::CommContext;
+pub use symbolic::task_time_optimistic;
+
+#[cfg(test)]
+mod tests {
+    use crate::{CommContext, CostModel};
+    use pt_machine::{platforms, CoreId};
+    use pt_mtask::{CollectiveKind, CommOp, MTask};
+
+    #[test]
+    fn task_time_splits_compute_linearly() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let task = MTask::compute("t", 5.2e9); // 1 s sequential on CHiC
+        let one = model.task_time(&ctx, &task, &[CoreId(0)]);
+        assert!((one - 1.0).abs() < 1e-9);
+        let four: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let t4 = model.task_time(&ctx, &task, &four);
+        assert!((t4 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_adds_on_top_of_compute() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let task = MTask::with_comm(
+            "t",
+            5.2e9,
+            vec![CommOp::new(CollectiveKind::Allgather, 1e6, 2.0)],
+        );
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let plain = model.task_time(&ctx, &MTask::compute("t", 5.2e9), &cores);
+        let with_comm = model.task_time(&ctx, &task, &cores);
+        assert!(with_comm > plain);
+    }
+
+    #[test]
+    fn max_cores_caps_useful_parallelism() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let task = MTask::compute("t", 5.2e9).max_cores(2);
+        let cores: Vec<CoreId> = (0..8).map(CoreId).collect();
+        let t = model.task_time(&ctx, &task, &cores);
+        assert!((t - 0.5).abs() < 1e-9, "only 2 of 8 cores are useful");
+    }
+}

@@ -1,0 +1,255 @@
+//! Data re-distribution costs between cooperating M-tasks
+//! (`TRe(M1, M2, q1, q2, mp1, mp2)` of paper §3.1).
+
+use crate::collectives::CostModel;
+use crate::context::CommContext;
+use pt_machine::CoreId;
+use pt_mtask::{dist::redistribution_volumes, Distribution, EdgeData, RedistPattern};
+
+impl CostModel<'_> {
+    /// Re-distribution time for the datum of `edge` moving from the group
+    /// that executed the producer (`src`) to the group executing the
+    /// consumer (`dst`).
+    ///
+    /// If both tasks ran on the same set of cores the data is already
+    /// resident and the cost is zero — this is what linear-chain contraction
+    /// guarantees for chain members (§3.2 step 1).
+    pub fn redist_time(
+        &self,
+        ctx: &CommContext,
+        edge: &EdgeData,
+        src: &[CoreId],
+        dst: &[CoreId],
+    ) -> f64 {
+        if edge.pattern == RedistPattern::None || edge.bytes == 0.0 {
+            return 0.0;
+        }
+        if same_set(src, dst) {
+            return 0.0;
+        }
+        match edge.pattern {
+            RedistPattern::None => 0.0,
+            RedistPattern::Replicated => {
+                // The producer group holds a full copy on every core; if the
+                // consumers are a subset of those cores the data is already
+                // resident.
+                if subset(dst, src) {
+                    return 0.0;
+                }
+                // Otherwise: broadcast from one producer core into the
+                // consumer group.
+                let mut bcast_group = Vec::with_capacity(dst.len() + 1);
+                bcast_group.push(src[0]);
+                bcast_group.extend(dst.iter().copied().filter(|c| *c != src[0]));
+                self.bcast(ctx, &bcast_group, edge.bytes)
+            }
+            RedistPattern::Block => self.block_redist(ctx, edge.bytes, src, dst),
+            RedistPattern::Orthogonal => {
+                // Positional exchange: consumer core j receives its share
+                // from the positionally matching producer core.  The
+                // aggregated multi-group orthogonal allgather is handled by
+                // the simulator via [`CostModel::orthogonal_exchange`]; this
+                // is the single-edge view.
+                let qd = dst.len();
+                let qs = src.len();
+                let per = edge.bytes / qd as f64;
+                let mut worst = 0.0f64;
+                for (j, d) in dst.iter().enumerate() {
+                    let s = src[j * qs / qd];
+                    worst = worst.max(self.p2p(ctx, s, *d, per));
+                }
+                worst
+            }
+        }
+    }
+
+    /// Block → block re-partitioning: the element-overlap volume matrix is
+    /// computed symbolically; every core pays its serialised send/receive
+    /// time; the result is the slowest core.
+    fn block_redist(&self, ctx: &CommContext, bytes: f64, src: &[CoreId], dst: &[CoreId]) -> f64 {
+        let qs = src.len();
+        let qd = dst.len();
+        // Work with a virtual element count so volumes become byte shares.
+        let elems = 1 << 20;
+        let per_elem = bytes / elems as f64;
+        let vol = redistribution_volumes(elems, Distribution::Block, qs, Distribution::Block, qd);
+        let mut send_time = vec![0.0f64; qs];
+        let mut recv_time = vec![0.0f64; qd];
+        for (s, row) in vol.iter().enumerate() {
+            for (d, &v) in row.iter().enumerate() {
+                if v == 0 || src[s] == dst[d] {
+                    continue;
+                }
+                let t = self.p2p(ctx, src[s], dst[d], v as f64 * per_elem);
+                send_time[s] += t;
+                recv_time[d] += t;
+            }
+        }
+        let worst_send = send_time.iter().copied().fold(0.0, f64::max);
+        let worst_recv = recv_time.iter().copied().fold(0.0, f64::max);
+        worst_send.max(worst_recv)
+    }
+
+    /// The aggregated orthogonal exchange after a layer of `groups`
+    /// concurrent M-tasks: position-`j` cores of all groups allgather their
+    /// blocks (total volume `total_bytes` per orthogonal set), all positions
+    /// concurrently (paper §4.2, the `{s1, s5, s9, s13}` example of Fig. 9).
+    ///
+    /// Requires equal group sizes (the solvers' schedules guarantee this);
+    /// groups of differing sizes fall back to the worst pairing.
+    pub fn orthogonal_exchange<G: AsRef<[CoreId]>>(
+        &self,
+        groups: &[G],
+        total_bytes: f64,
+    ) -> f64 {
+        if groups.len() <= 1 {
+            return 0.0;
+        }
+        let min_q = groups.iter().map(|g| g.as_ref().len()).min().unwrap_or(0);
+        if min_q == 0 {
+            return 0.0;
+        }
+        let sets: Vec<Vec<CoreId>> = (0..min_q)
+            .map(|j| {
+                groups
+                    .iter()
+                    .map(|g| {
+                        let g = g.as_ref();
+                        // Positional partner; uneven groups map position j
+                        // proportionally.
+                        g[j * g.len() / min_q]
+                    })
+                    .collect()
+            })
+            .collect();
+        self.multi_allgather(&sets, total_bytes)
+    }
+}
+
+/// True if every core of `a` is also in `b`.
+fn subset(a: &[CoreId], b: &[CoreId]) -> bool {
+    a.iter().all(|c| b.contains(c))
+}
+
+fn same_set(a: &[CoreId], b: &[CoreId]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut aa: Vec<CoreId> = a.to_vec();
+    let mut bb: Vec<CoreId> = b.to_vec();
+    aa.sort_unstable();
+    bb.sort_unstable();
+    aa == bb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_machine::platforms;
+
+    fn ids(r: std::ops::Range<usize>) -> Vec<CoreId> {
+        r.map(CoreId).collect()
+    }
+
+    #[test]
+    fn same_group_costs_nothing() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let g = ids(0..4);
+        for pattern in [
+            RedistPattern::Replicated,
+            RedistPattern::Block,
+            RedistPattern::Orthogonal,
+        ] {
+            let e = EdgeData {
+                bytes: 1e6,
+                pattern,
+            };
+            assert_eq!(m.redist_time(&ctx, &e, &g, &g), 0.0, "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_edges_are_free() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        assert_eq!(
+            m.redist_time(&ctx, &EdgeData::ordering(), &ids(0..4), &ids(4..8)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn replicated_transfer_costs_a_broadcast() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let e = EdgeData::replicated(1e6);
+        let t = m.redist_time(&ctx, &e, &ids(0..4), &ids(4..8));
+        assert!(t > 0.0);
+        // Must be at least one cross-node transfer.
+        assert!(t >= spec.inter_node.transfer_time(1e6));
+    }
+
+    #[test]
+    fn block_redist_cheaper_within_node() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let e = EdgeData {
+            bytes: 1e6,
+            pattern: RedistPattern::Block,
+        };
+        let within = m.redist_time(&ctx, &e, &ids(0..2), &ids(2..4));
+        let across = m.redist_time(&ctx, &e, &ids(0..2), &ids(4..6));
+        assert!(within < across);
+    }
+
+    #[test]
+    fn block_redist_volume_conserved_shape() {
+        // Doubling bytes roughly doubles time (affine in volume).
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let e1 = EdgeData {
+            bytes: 1e6,
+            pattern: RedistPattern::Block,
+        };
+        let e2 = EdgeData {
+            bytes: 2e6,
+            pattern: RedistPattern::Block,
+        };
+        let t1 = m.redist_time(&ctx, &e1, &ids(0..4), &ids(4..8));
+        let t2 = m.redist_time(&ctx, &e2, &ids(0..4), &ids(4..8));
+        assert!(t2 > 1.8 * t1 && t2 < 2.2 * t1);
+    }
+
+    #[test]
+    fn orthogonal_exchange_prefers_scattered_groups() {
+        let spec = platforms::chic().with_nodes(8);
+        let m = CostModel::new(&spec);
+        let bytes = 1e6;
+        // 4 groups of 8 cores: consecutive (2 nodes per group)…
+        let consecutive: Vec<Vec<CoreId>> = (0..4).map(|g| ids(g * 8..(g + 1) * 8)).collect();
+        // …vs scattered (each group = same core slot of all 8 nodes).
+        let scattered: Vec<Vec<CoreId>> = (0..4)
+            .map(|g| (0..8).map(|n| CoreId(n * 4 + g)).collect())
+            .collect();
+        let t_cons = m.orthogonal_exchange(&consecutive, bytes);
+        let t_scat = m.orthogonal_exchange(&scattered, bytes);
+        assert!(
+            t_scat < t_cons,
+            "orthogonal exchange should favour scattered mapping ({t_scat} vs {t_cons})"
+        );
+    }
+
+    #[test]
+    fn orthogonal_exchange_single_group_free() {
+        let spec = platforms::chic().with_nodes(2);
+        let m = CostModel::new(&spec);
+        let groups = vec![ids(0..8)];
+        assert_eq!(m.orthogonal_exchange(&groups, 1e6), 0.0);
+    }
+}

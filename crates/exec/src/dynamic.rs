@@ -1,0 +1,400 @@
+//! Dynamic (Tlib-style) M-task execution: recursive splitting of worker
+//! groups at runtime.
+//!
+//! The paper's static scheduling covers programs whose task graph is known
+//! up front; for adaptive computations and divide-and-conquer algorithms it
+//! points to dynamic scheduling and the Tlib library (§2.2.2, ref.\[44]).  This
+//! module provides that model on the shared-memory runtime: a task body
+//! receives a [`DynCtx`] and may *split* its group into weighted subgroups,
+//! each running a nested M-task concurrently — to any recursion depth.
+//! Group communicators are created on demand and cached in a [`CommPool`],
+//! so repeated splits (e.g. one per time step) reuse them.
+//!
+//! ```
+//! use pt_exec::dynamic::{run_dynamic, DynCtx};
+//! use pt_exec::{DataStore, Team};
+//! use std::sync::Arc;
+//!
+//! let team = Team::new(4);
+//! let store = DataStore::new();
+//! run_dynamic(&team, &store, Arc::new(|ctx: &DynCtx| {
+//!     // Split 3:1 and let each part record its size.
+//!     ctx.split(&[3.0, 1.0], |part: usize, child: &DynCtx| {
+//!         if child.rank == 0 {
+//!             child.store.put(format!("part{part}"), vec![child.size() as f64]);
+//!         }
+//!     });
+//! }));
+//! assert_eq!(store.get("part0").unwrap(), vec![3.0]);
+//! assert_eq!(store.get("part1").unwrap(), vec![1.0]);
+//! ```
+
+use crate::comm::GroupComm;
+use crate::program::{GroupPlan, Program, TaskCtx, TaskFn};
+use crate::store::DataStore;
+use crate::team::Team;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Cache of group communicators keyed by team-index span.
+///
+/// All members of a subgroup look up the same span; the first arrival
+/// creates the communicator, later arrivals reuse it.
+#[derive(Default)]
+pub struct CommPool {
+    map: Mutex<HashMap<(usize, usize), Arc<GroupComm>>>,
+}
+
+impl CommPool {
+    /// New, empty pool.
+    pub fn new() -> Arc<CommPool> {
+        Arc::new(CommPool::default())
+    }
+
+    /// Communicator for the span `[start, end)` (created on first use).
+    pub fn get(&self, span: Range<usize>) -> Arc<GroupComm> {
+        let key = (span.start, span.end);
+        self.map
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(GroupComm::new(span.len())))
+            .clone()
+    }
+
+    /// Number of cached communicators (diagnostics).
+    pub fn cached(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+/// Execution context of a dynamically created M-task.
+pub struct DynCtx<'a> {
+    /// Rank within the current group.
+    pub rank: usize,
+    /// Team-index span of the current group.
+    pub span: Range<usize>,
+    /// The group's communicator.
+    pub comm: Arc<GroupComm>,
+    /// Shared data store.
+    pub store: &'a DataStore,
+    pool: &'a CommPool,
+}
+
+/// A dynamic root task body.
+pub type DynTaskFn = dyn Fn(&DynCtx) + Send + Sync;
+
+impl DynCtx<'_> {
+    /// Current group size.
+    pub fn size(&self) -> usize {
+        self.span.len()
+    }
+
+    /// This worker's global team index.
+    pub fn team_rank(&self) -> usize {
+        self.span.start + self.rank
+    }
+
+    /// Split the group into `weights.len()` subgroups with sizes
+    /// proportional to `weights` (every subgroup gets at least one worker)
+    /// and run `body(part, child_ctx)` SPMD on each part concurrently.
+    ///
+    /// Collective: all members must call with identical weights.  Returns
+    /// after *all* parts finished (barrier on the parent communicator).
+    ///
+    /// # Panics
+    /// Panics if there are more parts than workers in the group.
+    pub fn split(&self, weights: &[f64], body: impl Fn(usize, &DynCtx) + Sync) {
+        let parts = weights.len();
+        assert!(parts >= 1, "need at least one part");
+        assert!(
+            parts <= self.size(),
+            "cannot split {} workers into {parts} parts",
+            self.size()
+        );
+        let sizes = proportional_sizes(weights, self.size());
+        // Locate this worker's part.
+        let mut offset = 0usize;
+        let mut my_part = parts - 1;
+        let mut my_span = self.span.clone();
+        for (p, &s) in sizes.iter().enumerate() {
+            let lo = self.span.start + offset;
+            let hi = lo + s;
+            if (lo..hi).contains(&self.team_rank()) {
+                my_part = p;
+                my_span = lo..hi;
+                break;
+            }
+            offset += s;
+        }
+        let child = self.subgroup(my_span);
+        body(my_part, &child);
+        self.comm.barrier();
+    }
+
+    /// Split into two equal halves; `body` receives `true` for the left
+    /// half.  Convenience over [`DynCtx::split`].
+    pub fn split2(&self, body: impl Fn(bool, &DynCtx) + Sync) {
+        if self.size() < 2 {
+            body(true, &self.subgroup(self.span.clone()));
+            return;
+        }
+        self.split(&[1.0, 1.0], |part: usize, child: &DynCtx| {
+            body(part == 0, child)
+        });
+    }
+
+    /// Child context over an explicit sub-span (the low-level building
+    /// block behind [`DynCtx::split`]; exposed for irregular recursion).
+    pub fn subgroup(&self, span: Range<usize>) -> DynCtx<'_> {
+        assert!(
+            span.start >= self.span.start && span.end <= self.span.end,
+            "subgroup {span:?} outside {:?}",
+            self.span
+        );
+        assert!(
+            span.contains(&self.team_rank()),
+            "this worker ({}) is not in subgroup {span:?}",
+            self.team_rank()
+        );
+        DynCtx {
+            rank: self.team_rank() - span.start,
+            comm: self.pool.get(span.clone()),
+            span,
+            store: self.store,
+            pool: self.pool,
+        }
+    }
+
+    /// Number of communicators created so far (diagnostics).
+    pub fn cached_comms(&self) -> usize {
+        self.pool.cached()
+    }
+}
+
+/// Sizes proportional to `weights`, each ≥ 1, summing to `total`.
+fn proportional_sizes(weights: &[f64], total: usize) -> Vec<usize> {
+    let parts = weights.len();
+    let wsum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    let mut sizes = vec![1usize; parts];
+    let mut assigned = parts;
+    if wsum > 0.0 {
+        // Largest-remainder on the remaining workers.
+        let spare = total - parts;
+        let ideal: Vec<f64> = weights
+            .iter()
+            .map(|w| w.max(0.0) / wsum * spare as f64)
+            .collect();
+        let mut rem: Vec<(usize, f64)> = Vec::with_capacity(parts);
+        for (p, id) in ideal.iter().enumerate() {
+            let add = id.floor() as usize;
+            sizes[p] += add;
+            assigned += add;
+            rem.push((p, id - add as f64));
+        }
+        rem.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut i = 0;
+        while assigned < total {
+            sizes[rem[i % parts].0] += 1;
+            assigned += 1;
+            i += 1;
+        }
+    } else {
+        // Equal split.
+        let mut i = 0;
+        while assigned < total {
+            sizes[i % parts] += 1;
+            assigned += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), total);
+    sizes
+}
+
+/// Run a dynamic root task on all workers of a team.
+pub fn run_dynamic(team: &Team, store: &Arc<DataStore>, root: Arc<DynTaskFn>) {
+    let pool = CommPool::new();
+    let size = team.size();
+    let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+        let dctx = DynCtx {
+            rank: ctx.rank,
+            span: 0..ctx.size,
+            comm: pool.get(0..ctx.size),
+            store: ctx.store,
+            pool: &pool,
+        };
+        root(&dctx);
+    });
+    let program = Program::single_layer(vec![GroupPlan::new(0..size, vec![task])]);
+    team.run(&program, store);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn proportional_sizes_sum_and_floor() {
+        assert_eq!(proportional_sizes(&[1.0, 1.0], 8), vec![4, 4]);
+        assert_eq!(proportional_sizes(&[3.0, 1.0], 8), vec![6, 2]);
+        let s = proportional_sizes(&[0.0, 1.0], 4);
+        assert_eq!(s.iter().sum::<usize>(), 4);
+        assert!(s[0] >= 1);
+        assert_eq!(
+            proportional_sizes(&[1.0, 2.0, 1.0], 5).iter().sum::<usize>(),
+            5
+        );
+    }
+
+    #[test]
+    fn recursive_halving_reaches_singletons() {
+        let team = Team::new(4);
+        let store = DataStore::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+
+        fn recurse(ctx: &DynCtx, hits: &AtomicUsize) {
+            if ctx.size() == 1 {
+                hits.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            ctx.split2(|_left, child| recurse(child, hits));
+        }
+
+        run_dynamic(
+            &team,
+            &store,
+            Arc::new(move |ctx: &DynCtx| recurse(ctx, &h)),
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn split_runs_parts_concurrently_and_rejoins() {
+        let team = Team::new(6);
+        let store = DataStore::new();
+        store.put("part0", vec![0.0]);
+        store.put("part1", vec![0.0]);
+        run_dynamic(
+            &team,
+            &store,
+            Arc::new(|ctx: &DynCtx| {
+                ctx.split(&[2.0, 1.0], |part: usize, child: &DynCtx| {
+                    // Group-wide reduction inside each part.
+                    let mut v = vec![1.0];
+                    child.comm.allreduce_sum(child.rank, &mut v);
+                    if child.rank == 0 {
+                        child.store.put(format!("part{part}"), v);
+                    }
+                });
+                // After the split, the full group is synchronised again.
+                ctx.comm.barrier();
+            }),
+        );
+        assert_eq!(store.get("part0").unwrap(), vec![4.0]); // 2:1 of 6 → 4
+        assert_eq!(store.get("part1").unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn communicators_are_cached_across_repeated_splits() {
+        let team = Team::new(4);
+        let store = DataStore::new();
+        let cached = Arc::new(AtomicUsize::new(0));
+        let probe = cached.clone();
+        run_dynamic(
+            &team,
+            &store,
+            Arc::new(move |ctx: &DynCtx| {
+                for _ in 0..5 {
+                    ctx.split(&[1.0, 1.0], |_, child: &DynCtx| {
+                        child.comm.barrier();
+                    });
+                }
+                if ctx.rank == 0 {
+                    probe.store(ctx.cached_comms(), Ordering::SeqCst);
+                }
+            }),
+        );
+        // root + two halves = 3 communicators despite 5 split rounds.
+        assert_eq!(cached.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn nested_mixed_width_splits() {
+        // 8 workers: split 3 ways (3,3,2), then each part splits in two.
+        let team = Team::new(8);
+        let store = DataStore::new();
+        let leaves = Arc::new(AtomicUsize::new(0));
+        let l2 = leaves.clone();
+        run_dynamic(
+            &team,
+            &store,
+            Arc::new(move |ctx: &DynCtx| {
+                let l3 = &l2;
+                ctx.split(&[1.0, 1.0, 1.0], move |_, part: &DynCtx| {
+                    if part.size() >= 2 {
+                        part.split(&[1.0, 1.0], move |_, leaf: &DynCtx| {
+                            if leaf.rank == 0 {
+                                l3.fetch_add(1, Ordering::SeqCst);
+                            }
+                        });
+                    } else if part.rank == 0 {
+                        l3.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }),
+        );
+        // 3 parts × 2 leaves each = 6 leaf groups.
+        assert_eq!(leaves.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn divide_and_conquer_sum_matches_sequential() {
+        // Recursive block sum of 0..n via group halving — the Tlib-style
+        // divide-and-conquer application the paper cites.
+        let n = 1024usize;
+        let team = Team::new(4);
+        let store = DataStore::new();
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let expect: f64 = data.iter().sum();
+        store.put("data", data);
+
+        fn dnq(ctx: &DynCtx, lo: usize, hi: usize) {
+            if ctx.size() == 1 {
+                let partial = ctx
+                    .store
+                    .read("data", |d| d[lo..hi].iter().sum::<f64>())
+                    .unwrap();
+                ctx.store.put(format!("partial{}", ctx.team_rank()), vec![partial]);
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            ctx.split2(|left, child| {
+                if left {
+                    dnq(child, lo, mid);
+                } else {
+                    dnq(child, mid, hi);
+                }
+            });
+        }
+
+        run_dynamic(
+            &team,
+            &store,
+            Arc::new(move |ctx: &DynCtx| {
+                dnq(ctx, 0, n);
+                ctx.comm.barrier();
+                if ctx.rank == 0 {
+                    let total: f64 = (0..ctx.size())
+                        .map(|r| ctx.store.get(&format!("partial{r}")).unwrap()[0])
+                        .sum();
+                    ctx.store.put("total", vec![total]);
+                }
+            }),
+        );
+        assert_eq!(store.get("total").unwrap(), vec![expect]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Executable M-task programs: layers of groups of SPMD task closures.
+
+use crate::comm::GroupComm;
+use crate::store::DataStore;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// An SPMD task body: called once per worker of the executing group.
+pub type TaskFn = dyn Fn(&TaskCtx) + Send + Sync;
+
+/// Per-worker execution context handed to a task body.
+pub struct TaskCtx<'a> {
+    /// Rank within the executing group (`0..size`).
+    pub rank: usize,
+    /// Group size.
+    pub size: usize,
+    /// Group communicator.
+    pub comm: &'a GroupComm,
+    /// Shared data store (inter-group data exchange).
+    pub store: &'a DataStore,
+}
+
+impl TaskCtx<'_> {
+    /// The contiguous block `[lo, hi)` of `0..n` owned by this rank under a
+    /// block distribution — the standard SPMD work split.
+    pub fn block_range(&self, n: usize) -> Range<usize> {
+        block_range(n, self.rank, self.size)
+    }
+}
+
+/// The block of `0..n` owned by `rank` of `size` (⌈n/size⌉ chunks).
+pub fn block_range(n: usize, rank: usize, size: usize) -> Range<usize> {
+    let chunk = n.div_ceil(size);
+    let lo = (rank * chunk).min(n);
+    let hi = ((rank + 1) * chunk).min(n);
+    lo..hi
+}
+
+/// One group of a layer: a worker index range and the tasks it executes in
+/// order.
+#[derive(Clone)]
+pub struct GroupPlan {
+    /// Worker indices of the group (a contiguous range of the team).
+    pub workers: Range<usize>,
+    /// SPMD task bodies, executed one after another.
+    pub tasks: Vec<Arc<TaskFn>>,
+    /// The group's communicator (constructed by [`GroupPlan::new`]).
+    pub comm: Arc<GroupComm>,
+}
+
+impl std::fmt::Debug for GroupPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupPlan")
+            .field("workers", &self.workers)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl GroupPlan {
+    /// Group over `workers` executing `tasks`.
+    pub fn new(workers: Range<usize>, tasks: Vec<Arc<TaskFn>>) -> GroupPlan {
+        assert!(!workers.is_empty(), "a group needs at least one worker");
+        let comm = Arc::new(GroupComm::new(workers.len()));
+        GroupPlan {
+            workers,
+            tasks,
+            comm,
+        }
+    }
+}
+
+/// A runnable program: layers execute one after another (team barrier in
+/// between), groups of one layer run concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Layers in execution order.
+    pub layers: Vec<Vec<GroupPlan>>,
+}
+
+impl Program {
+    /// A program with a single layer.
+    pub fn single_layer(groups: Vec<GroupPlan>) -> Program {
+        Program {
+            layers: vec![groups],
+        }
+    }
+
+    /// Append a layer.
+    pub fn push_layer(&mut self, groups: Vec<GroupPlan>) -> &mut Self {
+        self.layers.push(groups);
+        self
+    }
+
+    /// Highest worker index used plus one (the team size this program
+    /// needs).
+    pub fn required_workers(&self) -> usize {
+        self.layers
+            .iter()
+            .flatten()
+            .map(|g| g.workers.end)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Check that the groups of every layer are pairwise disjoint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (li, layer) in self.layers.iter().enumerate() {
+            for (i, a) in layer.iter().enumerate() {
+                for b in &layer[i + 1..] {
+                    if a.workers.start < b.workers.end && b.workers.start < a.workers.end {
+                        return Err(format!(
+                            "layer {li}: groups {:?} and {:?} overlap",
+                            a.workers, b.workers
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The group (and in-group rank) of worker `idx` in a layer, if any.
+    pub(crate) fn find_role(layer: &[GroupPlan], idx: usize) -> Option<(&GroupPlan, usize)> {
+        layer
+            .iter()
+            .find(|g| g.workers.contains(&idx))
+            .map(|g| (g, idx - g.workers.start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_partition() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for size in [1usize, 2, 3, 7] {
+                let mut covered = 0;
+                for r in 0..size {
+                    let range = block_range(n, r, size);
+                    assert_eq!(range.start, covered.min(n));
+                    covered = covered.max(range.end);
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let t: Vec<Arc<TaskFn>> = vec![];
+        let p = Program::single_layer(vec![
+            GroupPlan::new(0..4, t.clone()),
+            GroupPlan::new(2..6, t.clone()),
+        ]);
+        assert!(p.validate().is_err());
+        let ok = Program::single_layer(vec![
+            GroupPlan::new(0..4, t.clone()),
+            GroupPlan::new(4..8, t),
+        ]);
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.required_workers(), 8);
+    }
+
+    #[test]
+    fn find_role_maps_rank() {
+        let t: Vec<Arc<TaskFn>> = vec![];
+        let layer = vec![GroupPlan::new(0..2, t.clone()), GroupPlan::new(2..5, t)];
+        let (g, r) = Program::find_role(&layer, 3).unwrap();
+        assert_eq!(g.workers, 2..5);
+        assert_eq!(r, 1);
+        assert!(Program::find_role(&layer, 7).is_none());
+    }
+}

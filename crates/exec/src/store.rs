@@ -1,0 +1,149 @@
+//! Named shared arrays exchanged between M-tasks.
+//!
+//! The [`DataStore`] is the shared-memory stand-in for the re-distribution
+//! operations of a distributed run: producers publish named arrays, later
+//! tasks (possibly on other groups) read them.  The layer barrier of the
+//! [`Team`](crate::Team) orders publications against consumption, matching
+//! the paper's rule that re-distributions complete before the consumer
+//! starts.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Concurrent map of named `Vec<f64>` arrays.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    map: RwLock<HashMap<String, Arc<RwLock<Vec<f64>>>>>,
+}
+
+impl DataStore {
+    /// An empty store.
+    pub fn new() -> Arc<DataStore> {
+        Arc::new(DataStore::default())
+    }
+
+    /// Insert or replace an array.
+    pub fn put(&self, name: impl Into<String>, data: Vec<f64>) {
+        let name = name.into();
+        let mut map = self.map.write();
+        match map.get(&name) {
+            Some(cell) => *cell.write() = data,
+            None => {
+                map.insert(name, Arc::new(RwLock::new(data)));
+            }
+        }
+    }
+
+    /// Clone an array out of the store.
+    pub fn get(&self, name: &str) -> Option<Vec<f64>> {
+        self.handle(name).map(|h| h.read().clone())
+    }
+
+    /// Shared handle to an array (create it empty if missing).
+    pub fn handle(&self, name: &str) -> Option<Arc<RwLock<Vec<f64>>>> {
+        self.map.read().get(name).cloned()
+    }
+
+    /// Shared handle, creating a zero-length array if missing.
+    pub fn handle_or_default(&self, name: &str) -> Arc<RwLock<Vec<f64>>> {
+        if let Some(h) = self.handle(name) {
+            return h;
+        }
+        let mut map = self.map.write();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(RwLock::new(Vec::new())))
+            .clone()
+    }
+
+    /// Run a closure over an array under the read lock.
+    pub fn read<R>(&self, name: &str, f: impl FnOnce(&[f64]) -> R) -> Option<R> {
+        self.handle(name).map(|h| f(&h.read()))
+    }
+
+    /// Write a contiguous block into an array (growing it if needed).
+    /// Used by SPMD writers publishing disjoint owned ranges.
+    pub fn write_block(&self, name: &str, offset: usize, data: &[f64]) {
+        let h = self.handle_or_default(name);
+        let mut v = h.write();
+        if v.len() < offset + data.len() {
+            v.resize(offset + data.len(), 0.0);
+        }
+        v[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Names currently stored (sorted, for deterministic inspection).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.map.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove an array.
+    pub fn remove(&self, name: &str) -> Option<Vec<f64>> {
+        self.map
+            .write()
+            .remove(name)
+            .map(|h| std::mem::take(&mut *h.write()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = DataStore::new();
+        s.put("a", vec![1.0, 2.0]);
+        assert_eq!(s.get("a"), Some(vec![1.0, 2.0]));
+        assert_eq!(s.get("b"), None);
+    }
+
+    #[test]
+    fn put_replaces_in_place() {
+        let s = DataStore::new();
+        s.put("a", vec![1.0]);
+        let h = s.handle("a").unwrap();
+        s.put("a", vec![2.0, 3.0]);
+        // Old handles observe the replacement (same cell).
+        assert_eq!(*h.read(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn write_block_grows_and_places() {
+        let s = DataStore::new();
+        s.write_block("x", 2, &[5.0, 6.0]);
+        assert_eq!(s.get("x"), Some(vec![0.0, 0.0, 5.0, 6.0]));
+        s.write_block("x", 0, &[1.0]);
+        assert_eq!(s.get("x"), Some(vec![1.0, 0.0, 5.0, 6.0]));
+    }
+
+    #[test]
+    fn concurrent_disjoint_block_writes() {
+        let s = DataStore::new();
+        s.put("y", vec![0.0; 64]);
+        std::thread::scope(|scope| {
+            for r in 0..8 {
+                let s = &s;
+                scope.spawn(move || {
+                    s.write_block("y", r * 8, &[r as f64; 8]);
+                });
+            }
+        });
+        let y = s.get("y").unwrap();
+        for r in 0..8 {
+            assert!(y[r * 8..(r + 1) * 8].iter().all(|&v| v == r as f64));
+        }
+    }
+
+    #[test]
+    fn names_sorted_and_remove() {
+        let s = DataStore::new();
+        s.put("b", vec![]);
+        s.put("a", vec![1.0]);
+        assert_eq!(s.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.remove("a"), Some(vec![1.0]));
+        assert_eq!(s.get("a"), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! The worker-thread team executing M-task programs.
+
+use crate::program::Program;
+use crate::store::DataStore;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+enum Msg {
+    Run(Arc<Program>, Arc<DataStore>),
+    Shutdown,
+}
+
+/// A persistent team of worker threads.
+///
+/// Each worker owns a team index; running a [`Program`] hands every worker
+/// the full plan — a worker executes the tasks of the group containing its
+/// index (SPMD, using the group's communicator) and joins the team-wide
+/// barrier at every layer boundary, which implements the paper's
+/// layer-by-layer execution with re-distribution visibility through the
+/// shared [`DataStore`].
+pub struct Team {
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    done_rx: Receiver<std::thread::Result<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team").field("size", &self.size).finish()
+    }
+}
+
+impl Team {
+    /// Spawn a team of `size` workers.
+    pub fn new(size: usize) -> Team {
+        assert!(size >= 1, "team needs at least one worker");
+        let layer_barrier = Arc::new(Barrier::new(size));
+        let (done_tx, done_rx) = bounded(size);
+        let mut senders = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        for idx in 0..size {
+            let (tx, rx) = bounded::<Msg>(1);
+            senders.push(tx);
+            let barrier = layer_barrier.clone();
+            let done = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pt-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, rx, barrier, done))
+                    .expect("spawn worker"),
+            );
+        }
+        Team {
+            size,
+            senders,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Execute a program to completion; returns the wall-clock duration.
+    ///
+    /// # Panics
+    /// Panics if the program needs more workers than the team has, if its
+    /// groups overlap, or if a task body panicked.
+    pub fn run(&self, program: &Program, store: &Arc<DataStore>) -> Duration {
+        assert!(
+            program.required_workers() <= self.size,
+            "program needs {} workers, team has {}",
+            program.required_workers(),
+            self.size
+        );
+        program.validate().expect("invalid program");
+        let program = Arc::new(program.clone());
+        let start = Instant::now();
+        for tx in &self.senders {
+            tx.send(Msg::Run(program.clone(), store.clone()))
+                .expect("worker alive");
+        }
+        for _ in 0..self.size {
+            if let Err(panic) = self.done_rx.recv().expect("worker alive") {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        start.elapsed()
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    rx: Receiver<Msg>,
+    layer_barrier: Arc<Barrier>,
+    done: Sender<std::thread::Result<()>>,
+) {
+    while let Ok(Msg::Run(program, store)) = rx.recv() {
+        // A panic in a task body must not desynchronise the team barriers:
+        // the worker records the panic, skips its remaining tasks, but keeps
+        // joining every layer barrier.  (A panic *inside* a group collective
+        // can still wedge that group's peers — collectives assume all ranks
+        // arrive — which is the same contract MPI imposes.)
+        let mut outcome: std::thread::Result<()> = Ok(());
+        for layer in &program.layers {
+            if outcome.is_ok() {
+                if let Some((group, rank)) = Program::find_role(layer, idx) {
+                    let ctx = crate::program::TaskCtx {
+                        rank,
+                        size: group.workers.len(),
+                        comm: &group.comm,
+                        store: &store,
+                    };
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for task in &group.tasks {
+                            task(&ctx);
+                        }
+                    }));
+                    if let Err(e) = r {
+                        outcome = Err(e);
+                    }
+                }
+            }
+            // Layer barrier: re-distributions (DataStore writes) become
+            // visible to every group before the next layer starts.
+            layer_barrier.wait();
+        }
+        let _ = done.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{GroupPlan, TaskCtx, TaskFn};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn two_groups_run_concurrently_and_join_layers() {
+        let team = Team::new(4);
+        let store = DataStore::new();
+        store.put("sum0", vec![0.0]);
+        store.put("sum1", vec![0.0]);
+        // Layer 1: each group of 2 allreduces its ranks and publishes.
+        let make = |name: &'static str| -> Arc<TaskFn> {
+            Arc::new(move |ctx: &TaskCtx| {
+                let mut v = vec![ctx.rank as f64 + 1.0];
+                ctx.comm.allreduce_sum(ctx.rank, &mut v);
+                if ctx.rank == 0 {
+                    ctx.store.put(name, v);
+                }
+            })
+        };
+        // Layer 2: one group of 4 adds both sums.
+        let combine: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+            if ctx.rank == 0 {
+                let a = ctx.store.get("sum0").unwrap()[0];
+                let b = ctx.store.get("sum1").unwrap()[0];
+                ctx.store.put("total", vec![a + b]);
+            }
+        });
+        let mut program = Program::single_layer(vec![
+            GroupPlan::new(0..2, vec![make("sum0")]),
+            GroupPlan::new(2..4, vec![make("sum1")]),
+        ]);
+        program.push_layer(vec![GroupPlan::new(0..4, vec![combine])]);
+        team.run(&program, &store);
+        assert_eq!(store.get("total").unwrap(), vec![6.0]); // (1+2) + (1+2)
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        let team = Team::new(8);
+        let store = DataStore::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let task: Arc<TaskFn> = Arc::new(move |_ctx: &TaskCtx| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let program = Program::single_layer(vec![GroupPlan::new(0..8, vec![task])]);
+        team.run(&program, &store);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn sequential_tasks_within_group_are_ordered() {
+        let team = Team::new(2);
+        let store = DataStore::new();
+        store.put("log", vec![]);
+        let t1: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+            ctx.comm.barrier();
+            if ctx.rank == 0 {
+                ctx.store.put("log", vec![1.0]);
+            }
+            ctx.comm.barrier();
+        });
+        let t2: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+            ctx.comm.barrier();
+            if ctx.rank == 0 {
+                let mut l = ctx.store.get("log").unwrap();
+                l.push(2.0);
+                ctx.store.put("log", l);
+            }
+            ctx.comm.barrier();
+        });
+        let program = Program::single_layer(vec![GroupPlan::new(0..2, vec![t1, t2])]);
+        team.run(&program, &store);
+        assert_eq!(store.get("log").unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn team_is_reusable_across_runs() {
+        let team = Team::new(3);
+        let store = DataStore::new();
+        for round in 0..5 {
+            let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+                if ctx.rank == 0 {
+                    ctx.store.put("round", vec![round as f64]);
+                }
+            });
+            let program = Program::single_layer(vec![GroupPlan::new(0..3, vec![task])]);
+            team.run(&program, &store);
+            assert_eq!(store.get("round").unwrap(), vec![round as f64]);
+        }
+    }
+
+    #[test]
+    fn idle_workers_do_not_block_layers() {
+        // Program uses only 2 of 4 workers; the others still hit the layer
+        // barrier and the run completes.
+        let team = Team::new(4);
+        let store = DataStore::new();
+        let task: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+            let mut v = vec![1.0];
+            ctx.comm.allreduce_sum(ctx.rank, &mut v);
+            if ctx.rank == 0 {
+                ctx.store.put("n", v);
+            }
+        });
+        let program = Program::single_layer(vec![GroupPlan::new(0..2, vec![task])]);
+        team.run(&program, &store);
+        assert_eq!(store.get("n").unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "program needs")]
+    fn oversized_program_rejected() {
+        let team = Team::new(2);
+        let store = DataStore::new();
+        let t: Vec<Arc<TaskFn>> = vec![];
+        let program = Program::single_layer(vec![GroupPlan::new(0..4, t)]);
+        team.run(&program, &store);
+    }
+}

@@ -1,0 +1,353 @@
+//! Hierarchical machine model for M-task scheduling and mapping.
+//!
+//! The paper models the target platform as a tree (its Fig. 7): the entire
+//! architecture `A` is the root, compute nodes `N` are its children,
+//! processors `P` are children of nodes and cores `C` are the leaves.  A leaf
+//! is identified by the label `nid.pid.cid`.  Interconnect speed differs per
+//! tree level: cores of the same processor communicate faster than cores on
+//! different processors of the same node, which communicate faster than cores
+//! on different nodes.
+//!
+//! This crate provides:
+//!
+//! * [`ClusterSpec`] — a regular (homogeneous) cluster description with
+//!   per-level [`LinkParams`] and per-core compute speed,
+//! * [`CoreId`] / [`CoreLabel`] — global core indices and their tree labels,
+//! * [`CommLevel`] — the lowest-common-ancestor level of a core pair, which
+//!   determines the link parameters used for a message between them,
+//! * [`platforms`] — presets for the three clusters of the paper's
+//!   evaluation (CHiC, SGI Altix, JuRoPA).
+
+pub mod platforms;
+pub mod tree;
+
+use serde::{Deserialize, Serialize};
+
+/// Global index of a physical core, in `0..cluster.total_cores()`.
+///
+/// Core `k` has label `nid.pid.cid` with `nid = k / cores_per_node`, etc.;
+/// i.e. the natural enumeration is the *consecutive* order of the paper's
+/// §3.4 (all cores of node 0 first, within a node all cores of processor 0
+/// first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// The raw global index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Tree label `nid.pid.cid` of a core (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreLabel {
+    /// Compute-node id.
+    pub node: usize,
+    /// Processor (socket) id within the node.
+    pub processor: usize,
+    /// Core id within the processor.
+    pub core: usize,
+}
+
+impl std::fmt::Display for CoreLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.node, self.processor, self.core)
+    }
+}
+
+/// The lowest-common-ancestor level of a pair of cores.
+///
+/// A message between two cores travels over the interconnect of the deepest
+/// tree level that still contains both cores; the level therefore selects the
+/// [`LinkParams`] used by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommLevel {
+    /// The two endpoints are the same core (no transfer needed).
+    SameCore,
+    /// Different cores of the same processor (shared cache / on-die).
+    SameProcessor,
+    /// Different processors of the same node (shared memory / front-side bus).
+    SameNode,
+    /// Different nodes (cluster interconnection network).
+    CrossNode,
+}
+
+/// Latency/bandwidth parameters of one interconnect level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Startup time (latency) of a transfer in seconds.
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth in bytes per second.
+    pub bytes_per_s: f64,
+}
+
+impl LinkParams {
+    /// Time to move `bytes` over this link once: `latency + bytes / bandwidth`.
+    #[inline]
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bytes_per_s
+    }
+}
+
+/// Description of a regular (homogeneous) hierarchical cluster.
+///
+/// All nodes have the same processor count and all processors the same core
+/// count, matching the platforms of the paper's evaluation.  Heterogeneity
+/// enters through the *interconnect*: the three [`LinkParams`] levels differ
+/// by an order of magnitude or more on real machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable platform name (e.g. `"CHiC"`).
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Processors (sockets) per node.
+    pub processors_per_node: usize,
+    /// Cores per processor.
+    pub cores_per_processor: usize,
+    /// Peak performance of a single core in floating-point operations per
+    /// second; used to convert a task's sequential work into seconds.
+    pub core_flops: f64,
+    /// Link parameters between cores of the same processor.
+    pub intra_processor: LinkParams,
+    /// Link parameters between processors of the same node.
+    pub intra_node: LinkParams,
+    /// Link parameters between nodes.
+    pub inter_node: LinkParams,
+    /// Aggregate NIC bandwidth of one node in bytes per second.  Concurrent
+    /// flows entering/leaving a node share this; the cost model derives a
+    /// contention factor from it.
+    pub nic_bytes_per_s: f64,
+    /// Whether threads may span nodes (true only for distributed shared
+    /// memory systems such as the SGI Altix, paper §4.7).
+    pub shared_memory_across_nodes: bool,
+}
+
+impl ClusterSpec {
+    /// Cores per node (`processors_per_node * cores_per_processor`).
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.processors_per_node * self.cores_per_processor
+    }
+
+    /// Total number of cores of the machine (the paper's `P`).
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// The tree label of a core.
+    #[inline]
+    pub fn label(&self, core: CoreId) -> CoreLabel {
+        let cpn = self.cores_per_node();
+        debug_assert!(core.0 < self.total_cores(), "core {core:?} out of range");
+        let node = core.0 / cpn;
+        let within = core.0 % cpn;
+        CoreLabel {
+            node,
+            processor: within / self.cores_per_processor,
+            core: within % self.cores_per_processor,
+        }
+    }
+
+    /// The global core index of a tree label.
+    #[inline]
+    pub fn core_at(&self, label: CoreLabel) -> CoreId {
+        CoreId(
+            label.node * self.cores_per_node()
+                + label.processor * self.cores_per_processor
+                + label.core,
+        )
+    }
+
+    /// Lowest-common-ancestor level of a pair of cores.
+    #[inline]
+    pub fn level(&self, a: CoreId, b: CoreId) -> CommLevel {
+        if a == b {
+            return CommLevel::SameCore;
+        }
+        let la = self.label(a);
+        let lb = self.label(b);
+        if la.node != lb.node {
+            CommLevel::CrossNode
+        } else if la.processor != lb.processor {
+            CommLevel::SameNode
+        } else {
+            CommLevel::SameProcessor
+        }
+    }
+
+    /// Link parameters for a message between two cores.
+    ///
+    /// `SameCore` transfers are modelled as a same-processor copy; callers
+    /// that want them free should special-case `a == b`.
+    #[inline]
+    pub fn link(&self, a: CoreId, b: CoreId) -> LinkParams {
+        match self.level(a, b) {
+            CommLevel::SameCore | CommLevel::SameProcessor => self.intra_processor,
+            CommLevel::SameNode => self.intra_node,
+            CommLevel::CrossNode => self.inter_node,
+        }
+    }
+
+    /// Link parameters of a given level.
+    #[inline]
+    pub fn link_at(&self, level: CommLevel) -> LinkParams {
+        match level {
+            CommLevel::SameCore | CommLevel::SameProcessor => self.intra_processor,
+            CommLevel::SameNode => self.intra_node,
+            CommLevel::CrossNode => self.inter_node,
+        }
+    }
+
+    /// The slowest link of the machine; used for the default mapping pattern
+    /// `dmp` of the scheduling step (paper §3.2), which charges all internal
+    /// communication of a task at the slowest level so that `Tsymb(M, p)` is
+    /// an upper bound of the real execution time.
+    #[inline]
+    pub fn slowest_link(&self) -> LinkParams {
+        // Monotone hierarchies have the inter-node link slowest; guard
+        // against exotic configurations by comparing transfer times for a
+        // representative message.
+        let probe = 64.0 * 1024.0;
+        let mut worst = self.intra_processor;
+        for cand in [self.intra_node, self.inter_node] {
+            if cand.transfer_time(probe) > worst.transfer_time(probe) {
+                worst = cand;
+            }
+        }
+        worst
+    }
+
+    /// Enumerate all cores in consecutive label order.
+    pub fn all_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.total_cores()).map(CoreId)
+    }
+
+    /// Restrict the spec to the first `nodes` nodes (the paper's benchmarks
+    /// use sub-partitions of each machine).
+    pub fn with_nodes(&self, nodes: usize) -> ClusterSpec {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        ClusterSpec {
+            nodes,
+            ..self.clone()
+        }
+    }
+
+    /// A sub-machine with exactly `cores` cores, using as few whole nodes as
+    /// possible.  Panics if `cores` is not a multiple of the node width or
+    /// exceeds the machine.
+    pub fn with_cores(&self, cores: usize) -> ClusterSpec {
+        let cpn = self.cores_per_node();
+        assert!(
+            cores.is_multiple_of(cpn),
+            "{cores} cores is not a whole number of {cpn}-core nodes"
+        );
+        let nodes = cores / cpn;
+        assert!(nodes <= self.nodes, "machine has only {} nodes", self.nodes);
+        self.with_nodes(nodes)
+    }
+
+    /// Seconds of compute time for `flops` floating point operations on one
+    /// core.
+    #[inline]
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops / self.core_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ClusterSpec {
+        ClusterSpec {
+            name: "toy".into(),
+            nodes: 4,
+            processors_per_node: 2,
+            cores_per_processor: 2,
+            core_flops: 1e9,
+            intra_processor: LinkParams {
+                latency_s: 1e-7,
+                bytes_per_s: 8e9,
+            },
+            intra_node: LinkParams {
+                latency_s: 5e-7,
+                bytes_per_s: 4e9,
+            },
+            inter_node: LinkParams {
+                latency_s: 4e-6,
+                bytes_per_s: 1e9,
+            },
+            nic_bytes_per_s: 1e9,
+            shared_memory_across_nodes: false,
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let c = toy();
+        assert_eq!(c.cores_per_node(), 4);
+        assert_eq!(c.total_cores(), 16);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let c = toy();
+        for k in 0..c.total_cores() {
+            let id = CoreId(k);
+            let label = c.label(id);
+            assert_eq!(c.core_at(label), id);
+        }
+    }
+
+    #[test]
+    fn label_layout_is_consecutive() {
+        let c = toy();
+        // Core 0..4 on node 0, 4..8 on node 1, ...
+        assert_eq!(c.label(CoreId(0)), CoreLabel { node: 0, processor: 0, core: 0 });
+        assert_eq!(c.label(CoreId(1)), CoreLabel { node: 0, processor: 0, core: 1 });
+        assert_eq!(c.label(CoreId(2)), CoreLabel { node: 0, processor: 1, core: 0 });
+        assert_eq!(c.label(CoreId(5)), CoreLabel { node: 1, processor: 0, core: 1 });
+    }
+
+    #[test]
+    fn levels() {
+        let c = toy();
+        assert_eq!(c.level(CoreId(0), CoreId(0)), CommLevel::SameCore);
+        assert_eq!(c.level(CoreId(0), CoreId(1)), CommLevel::SameProcessor);
+        assert_eq!(c.level(CoreId(0), CoreId(2)), CommLevel::SameNode);
+        assert_eq!(c.level(CoreId(0), CoreId(4)), CommLevel::CrossNode);
+    }
+
+    #[test]
+    fn slowest_link_is_inter_node() {
+        let c = toy();
+        assert_eq!(c.slowest_link(), c.inter_node);
+    }
+
+    #[test]
+    fn with_cores_shrinks_nodes() {
+        let c = toy().with_cores(8);
+        assert_eq!(c.nodes, 2);
+        assert_eq!(c.total_cores(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn with_cores_rejects_partial_nodes() {
+        toy().with_cores(6);
+    }
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let l = LinkParams {
+            latency_s: 1e-6,
+            bytes_per_s: 1e9,
+        };
+        assert!((l.transfer_time(0.0) - 1e-6).abs() < 1e-15);
+        assert!((l.transfer_time(1e9) - (1e-6 + 1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Presets for the three clusters of the paper's evaluation (§4.1).
+//!
+//! Peak per-core performance and node structure are taken directly from the
+//! paper; interconnect latencies and bandwidths are the published
+//! characteristics of the respective networks (SDR InfiniBand, NUMAlink 4,
+//! QDR InfiniBand).  Absolute values only shift the simulated curves; the
+//! *relations* between levels (intra-processor ≫ intra-node ≫ inter-node
+//! bandwidth) are what drives every mapping effect the paper reports.
+
+use crate::{ClusterSpec, LinkParams};
+
+/// Chemnitz High Performance Linux (CHiC) cluster.
+///
+/// 530 nodes × 2 AMD Opteron 2218 dual-core processors @ 2.6 GHz
+/// (5.2 GFlop/s per core), SDR InfiniBand interconnect
+/// (~10 Gbit/s ≈ 1 GB/s payload, ~4 µs latency).
+pub fn chic() -> ClusterSpec {
+    ClusterSpec {
+        name: "CHiC".into(),
+        nodes: 530,
+        processors_per_node: 2,
+        cores_per_processor: 2,
+        core_flops: 5.2e9,
+        intra_processor: LinkParams {
+            latency_s: 2.0e-7,
+            bytes_per_s: 6.0e9,
+        },
+        intra_node: LinkParams {
+            latency_s: 6.0e-7,
+            bytes_per_s: 2.5e9,
+        },
+        inter_node: LinkParams {
+            latency_s: 4.0e-6,
+            bytes_per_s: 0.95e9,
+        },
+        nic_bytes_per_s: 0.95e9,
+        shared_memory_across_nodes: false,
+    }
+}
+
+/// One 128-node partition of the SGI Altix 4700.
+///
+/// Each node holds 2 Intel Itanium2 Montecito dual-core processors
+/// @ 1.6 GHz (6.4 GFlop/s per core).  Nodes connect through NUMAlink 4
+/// with 6.4 GB/s bidirectional bandwidth per link and very low latency;
+/// the machine is a distributed shared memory system, so OpenMP threads may
+/// span nodes (paper §4.7).
+pub fn altix() -> ClusterSpec {
+    ClusterSpec {
+        name: "SGI-Altix".into(),
+        nodes: 128,
+        processors_per_node: 2,
+        cores_per_processor: 2,
+        core_flops: 6.4e9,
+        intra_processor: LinkParams {
+            latency_s: 1.5e-7,
+            bytes_per_s: 6.5e9,
+        },
+        intra_node: LinkParams {
+            latency_s: 4.0e-7,
+            bytes_per_s: 4.0e9,
+        },
+        inter_node: LinkParams {
+            latency_s: 1.2e-6,
+            bytes_per_s: 3.2e9,
+        },
+        nic_bytes_per_s: 3.2e9,
+        shared_memory_across_nodes: true,
+    }
+}
+
+/// JuRoPA cluster at Jülich.
+///
+/// 2208 nodes × 2 Intel Xeon X5570 "Nehalem" quad-core processors
+/// @ 2.93 GHz (11.72 GFlop/s per core), QDR InfiniBand
+/// (~32 Gbit/s ≈ 3.2 GB/s payload, ~2 µs latency).
+pub fn juropa() -> ClusterSpec {
+    ClusterSpec {
+        name: "JuRoPA".into(),
+        nodes: 2208,
+        processors_per_node: 2,
+        cores_per_processor: 4,
+        core_flops: 11.72e9,
+        intra_processor: LinkParams {
+            latency_s: 1.0e-7,
+            bytes_per_s: 1.0e10,
+        },
+        intra_node: LinkParams {
+            latency_s: 4.0e-7,
+            bytes_per_s: 5.0e9,
+        },
+        inter_node: LinkParams {
+            latency_s: 2.0e-6,
+            bytes_per_s: 3.0e9,
+        },
+        nic_bytes_per_s: 3.0e9,
+        shared_memory_across_nodes: false,
+    }
+}
+
+/// A small two-node machine with two dual-core processors per node, as used
+/// in the paper's illustrating figures (Fig. 1, Fig. 9–11); convenient for
+/// unit tests and examples.
+pub fn example_2x2x2() -> ClusterSpec {
+    ClusterSpec {
+        name: "example-2x2x2".into(),
+        nodes: 2,
+        processors_per_node: 2,
+        cores_per_processor: 2,
+        core_flops: 1.0e9,
+        intra_processor: LinkParams {
+            latency_s: 1.0e-7,
+            bytes_per_s: 8.0e9,
+        },
+        intra_node: LinkParams {
+            latency_s: 5.0e-7,
+            bytes_per_s: 4.0e9,
+        },
+        inter_node: LinkParams {
+            latency_s: 4.0e-6,
+            bytes_per_s: 1.0e9,
+        },
+        nic_bytes_per_s: 1.0e9,
+        shared_memory_across_nodes: false,
+    }
+}
+
+/// Like [`example_2x2x2`] but with four nodes (the platform of Fig. 9–11).
+pub fn example_4x2x2() -> ClusterSpec {
+    let mut c = example_2x2x2();
+    c.name = "example-4x2x2".into();
+    c.nodes = 4;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chic_matches_paper() {
+        let c = chic();
+        assert_eq!(c.cores_per_node(), 4);
+        assert_eq!(c.total_cores(), 530 * 4);
+        assert!((c.core_flops - 5.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn juropa_matches_paper() {
+        let c = juropa();
+        assert_eq!(c.cores_per_node(), 8);
+        assert!((c.core_flops - 11.72e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn altix_allows_cross_node_threads() {
+        assert!(altix().shared_memory_across_nodes);
+        assert!(!chic().shared_memory_across_nodes);
+        assert!(!juropa().shared_memory_across_nodes);
+    }
+
+    #[test]
+    fn hierarchy_is_monotone() {
+        for spec in [chic(), altix(), juropa()] {
+            let probe = 1024.0 * 1024.0;
+            assert!(
+                spec.intra_processor.transfer_time(probe)
+                    < spec.intra_node.transfer_time(probe),
+                "{}: processor link not faster than node link",
+                spec.name
+            );
+            assert!(
+                spec.intra_node.transfer_time(probe) < spec.inter_node.transfer_time(probe),
+                "{}: node link not faster than network",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Explicit architecture tree (paper Fig. 7).
+//!
+//! [`ClusterSpec`] answers all cost-model queries
+//! arithmetically; this module materialises the tree itself for display,
+//! debugging and for algorithms that want to walk the hierarchy (e.g. the
+//! hybrid process-layout builder).
+
+use crate::{ClusterSpec, CoreId};
+
+/// A node of the architecture tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchNode {
+    /// Root: the entire machine/partition `A`, with one child per node.
+    Machine(Vec<ArchNode>),
+    /// A compute node `N<id>`, with one child per processor.
+    Node { id: usize, processors: Vec<ArchNode> },
+    /// A processor `P<id>`, with one child per core.
+    Processor { id: usize, cores: Vec<ArchNode> },
+    /// A leaf core `C` with its global [`CoreId`].
+    Core { id: usize, global: CoreId },
+}
+
+impl ArchNode {
+    /// Build the full tree for a cluster.
+    pub fn from_spec(spec: &ClusterSpec) -> ArchNode {
+        let nodes = (0..spec.nodes)
+            .map(|n| ArchNode::Node {
+                id: n,
+                processors: (0..spec.processors_per_node)
+                    .map(|p| ArchNode::Processor {
+                        id: p,
+                        cores: (0..spec.cores_per_processor)
+                            .map(|c| ArchNode::Core {
+                                id: c,
+                                global: spec.core_at(crate::CoreLabel {
+                                    node: n,
+                                    processor: p,
+                                    core: c,
+                                }),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        ArchNode::Machine(nodes)
+    }
+
+    /// Number of leaf cores below this tree node.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ArchNode::Machine(children) => children.iter().map(ArchNode::leaf_count).sum(),
+            ArchNode::Node { processors, .. } => {
+                processors.iter().map(ArchNode::leaf_count).sum()
+            }
+            ArchNode::Processor { cores, .. } => cores.len(),
+            ArchNode::Core { .. } => 1,
+        }
+    }
+
+    /// Leaves in left-to-right order — this is exactly the *consecutive*
+    /// physical core sequence of the paper's mapping step.
+    pub fn leaves(&self) -> Vec<CoreId> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<CoreId>) {
+        match self {
+            ArchNode::Machine(children) => {
+                children.iter().for_each(|c| c.collect_leaves(out));
+            }
+            ArchNode::Node { processors, .. } => {
+                processors.iter().for_each(|c| c.collect_leaves(out));
+            }
+            ArchNode::Processor { cores, .. } => {
+                cores.iter().for_each(|c| c.collect_leaves(out));
+            }
+            ArchNode::Core { global, .. } => out.push(*global),
+        }
+    }
+
+    /// Render the tree with `A`/`N`/`P`/`C` labels as in the paper's Fig. 7.
+    pub fn render(&self, spec: &ClusterSpec) -> String {
+        let mut s = String::new();
+        self.render_into(spec, 0, &mut s);
+        s
+    }
+
+    fn render_into(&self, spec: &ClusterSpec, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self {
+            ArchNode::Machine(children) => {
+                let _ = writeln!(out, "{pad}A ({})", spec.name);
+                children.iter().for_each(|c| c.render_into(spec, depth + 1, out));
+            }
+            ArchNode::Node { id, processors } => {
+                let _ = writeln!(out, "{pad}N{id}");
+                processors
+                    .iter()
+                    .for_each(|c| c.render_into(spec, depth + 1, out));
+            }
+            ArchNode::Processor { id, cores } => {
+                let _ = writeln!(out, "{pad}P{id}");
+                cores.iter().for_each(|c| c.render_into(spec, depth + 1, out));
+            }
+            ArchNode::Core { global, .. } => {
+                let _ = writeln!(out, "{pad}C {}", spec.label(*global));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    #[test]
+    fn tree_leaf_count_matches_spec() {
+        let spec = platforms::example_4x2x2();
+        let tree = ArchNode::from_spec(&spec);
+        assert_eq!(tree.leaf_count(), spec.total_cores());
+    }
+
+    #[test]
+    fn leaves_are_in_consecutive_order() {
+        let spec = platforms::example_2x2x2();
+        let tree = ArchNode::from_spec(&spec);
+        let leaves = tree.leaves();
+        let expect: Vec<_> = spec.all_cores().collect();
+        assert_eq!(leaves, expect);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let spec = platforms::example_2x2x2();
+        let tree = ArchNode::from_spec(&spec);
+        let text = tree.render(&spec);
+        assert!(text.contains("N0"));
+        assert!(text.contains("P1"));
+        assert!(text.contains("C 1.1.1"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Maximal linear-chain contraction (step 1 of the scheduling algorithm,
+//! paper §3.2).
+//!
+//! A *linear chain* is a subgraph `v1 → v2 → … → vk` (k ≥ 2) with a unique
+//! entry node preceding all others, a unique exit node succeeding all
+//! others, where every node except the entry has exactly one predecessor
+//! (its chain neighbour) and every node except the exit has exactly one
+//! successor (its chain neighbour).  Each maximal chain is replaced by a
+//! single node whose costs are the accumulated computation and communication
+//! costs of its members.  This guarantees the tasks of one chain run on the
+//! same group of cores, so the re-distribution operations between them can
+//! be avoided (the contracted node drops the internal edges).
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::task::MTask;
+
+/// Result of contracting the maximal linear chains of a [`TaskGraph`].
+#[derive(Debug, Clone)]
+pub struct ChainGraph {
+    /// The contracted graph.
+    pub graph: TaskGraph,
+    /// For every node of the contracted graph, the original task ids it
+    /// represents, in chain order (singleton for unmerged tasks).
+    pub members: Vec<Vec<TaskId>>,
+}
+
+impl ChainGraph {
+    /// Contract all maximal linear chains of `g`.
+    pub fn contract(g: &TaskGraph) -> ChainGraph {
+        let n = g.len();
+        // next[u] = v iff u→v is a chain link: u has exactly one successor v
+        // and v has exactly one predecessor u.
+        let mut next: Vec<Option<TaskId>> = vec![None; n];
+        let mut prev: Vec<Option<TaskId>> = vec![None; n];
+        for u in g.task_ids() {
+            if g.task(u).is_structural() {
+                continue; // start/stop markers never join a chain
+            }
+            if let [v] = g.succs(u) {
+                if g.preds(*v).len() == 1 && !g.task(*v).is_structural() {
+                    next[u.0] = Some(*v);
+                    prev[v.0] = Some(u);
+                }
+            }
+        }
+
+        // Walk each chain from its head (a node with no incoming chain link).
+        let mut chain_of: Vec<usize> = vec![usize::MAX; n];
+        let mut members: Vec<Vec<TaskId>> = Vec::new();
+        for u in g.task_ids() {
+            if prev[u.0].is_some() {
+                continue; // not a head
+            }
+            let idx = members.len();
+            let mut chain = vec![u];
+            chain_of[u.0] = idx;
+            let mut cur = u;
+            while let Some(v) = next[cur.0] {
+                chain.push(v);
+                chain_of[v.0] = idx;
+                cur = v;
+            }
+            members.push(chain);
+        }
+
+        // Build the contracted graph: accumulate work and internal comm.
+        let mut graph = TaskGraph::new();
+        for chain in &members {
+            let node = if chain.len() == 1 {
+                g.task(chain[0]).clone()
+            } else {
+                let name = format!(
+                    "chain[{}..{}]",
+                    g.task(chain[0]).name,
+                    g.task(*chain.last().unwrap()).name
+                );
+                let mut merged = MTask::compute(name, 0.0);
+                let mut cap: Option<usize> = None;
+                for &t in chain {
+                    let task = g.task(t);
+                    merged.work += task.work;
+                    merged.comm.extend(task.comm.iter().cloned());
+                    cap = match (cap, task.max_cores) {
+                        (None, c) => c,
+                        (c, None) => c,
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                    };
+                }
+                merged.max_cores = cap;
+                merged
+            };
+            graph.add_task(node);
+        }
+        // External edges: between different chains only.
+        for (a, b, data) in g.edges() {
+            let ca = chain_of[a.0];
+            let cb = chain_of[b.0];
+            if ca != cb {
+                graph.add_edge(TaskId(ca), TaskId(cb), *data);
+            }
+        }
+
+        ChainGraph { graph, members }
+    }
+
+    /// The contracted node that contains original task `t`.
+    pub fn node_of(&self, t: TaskId) -> TaskId {
+        for (i, chain) in self.members.iter().enumerate() {
+            if chain.contains(&t) {
+                return TaskId(i);
+            }
+        }
+        panic!("task {t:?} not in any chain");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeData;
+
+    /// A graph shaped like one EPOL time step with R = 3 (paper Fig. 5):
+    /// start → three chains of length 1, 2, 3 → combine.
+    fn epol_like(r: usize) -> (TaskGraph, TaskId, TaskId) {
+        let mut g = TaskGraph::new();
+        let start = g.add_task(MTask::compute("init", 1.0));
+        let combine = g.add_task(MTask::compute("combine", 1.0));
+        for i in 1..=r {
+            let mut prev = start;
+            for j in 1..=i {
+                let t = g.add_task(MTask::compute(format!("step({j},{i})"), 1.0));
+                g.add_edge(prev, t, EdgeData::replicated(8.0));
+                prev = t;
+            }
+            g.add_edge(prev, combine, EdgeData::replicated(8.0));
+        }
+        (g, start, combine)
+    }
+
+    #[test]
+    fn epol_chains_contract_to_one_node_each() {
+        let (g, _, _) = epol_like(3);
+        let cg = ChainGraph::contract(&g);
+        // init + combine + 3 chains = 5 nodes.
+        assert_eq!(cg.graph.len(), 5);
+        // Chain works are 1, 2, 3.
+        let mut chain_works: Vec<f64> = cg
+            .members
+            .iter()
+            .filter(|m| !m.is_empty())
+            .map(|m| m.iter().map(|&t| g.task(t).work).sum())
+            .collect();
+        chain_works.sort_by(f64::total_cmp);
+        assert_eq!(chain_works, vec![1.0, 1.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chain_members_in_order() {
+        let (g, _, _) = epol_like(4);
+        let cg = ChainGraph::contract(&g);
+        for chain in &cg.members {
+            for pair in chain.windows(2) {
+                assert!(
+                    g.edge(pair[0], pair[1]).is_some(),
+                    "chain members must be consecutive in the original graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_total_work() {
+        let (g, _, _) = epol_like(5);
+        let cg = ChainGraph::contract(&g);
+        assert!((g.total_work() - cg.graph.total_work()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_chain_in_wide_graph() {
+        // A fork-join: nothing to contract except nothing (entry has 3
+        // succs, join has 3 preds).
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1.0));
+        let b = g.add_task(MTask::compute("b", 1.0));
+        for i in 0..3 {
+            let t = g.add_task(MTask::compute(format!("m{i}"), 1.0));
+            g.add_ordering_edge(a, t);
+            g.add_ordering_edge(t, b);
+        }
+        let cg = ChainGraph::contract(&g);
+        assert_eq!(cg.graph.len(), g.len());
+    }
+
+    #[test]
+    fn pure_path_contracts_to_single_node() {
+        let mut g = TaskGraph::new();
+        let mut prev = g.add_task(MTask::compute("t0", 1.0));
+        for i in 1..6 {
+            let t = g.add_task(MTask::compute(format!("t{i}"), 1.0));
+            g.add_ordering_edge(prev, t);
+            prev = t;
+        }
+        let cg = ChainGraph::contract(&g);
+        assert_eq!(cg.graph.len(), 1);
+        assert_eq!(cg.members[0].len(), 6);
+        assert_eq!(cg.graph.task(TaskId(0)).work, 6.0);
+    }
+
+    #[test]
+    fn node_of_maps_back() {
+        let (g, start, combine) = epol_like(3);
+        let cg = ChainGraph::contract(&g);
+        assert_ne!(cg.node_of(start), cg.node_of(combine));
+        // Every original task maps to exactly one chain.
+        let total: usize = cg.members.iter().map(Vec::len).sum();
+        assert_eq!(total, g.len());
+    }
+
+    #[test]
+    fn max_cores_cap_is_min_over_chain() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1.0).max_cores(8));
+        let b = g.add_task(MTask::compute("b", 1.0).max_cores(4));
+        g.add_ordering_edge(a, b);
+        let cg = ChainGraph::contract(&g);
+        assert_eq!(cg.graph.len(), 1);
+        assert_eq!(cg.graph.task(TaskId(0)).max_cores, Some(4));
+    }
+
+    #[test]
+    fn contracted_graph_is_acyclic_dag() {
+        let (g, _, _) = epol_like(4);
+        let cg = ChainGraph::contract(&g);
+        // topo_order would debug-assert on a cycle; also check edges reduced.
+        assert_eq!(cg.graph.topo_order().len(), cg.graph.len());
+        assert!(cg.graph.edge_count() < g.edge_count());
+    }
+}

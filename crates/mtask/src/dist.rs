@@ -1,0 +1,307 @@
+//! Data distributions of M-task parameters and re-distribution volumes.
+//!
+//! The data distribution of an input or output parameter of an M-task
+//! defines how the elements of the data structure are spread over the cores
+//! executing the task (paper §2.1).  When producer and consumer use
+//! different distributions or different core groups, a re-distribution
+//! operation moves every element from its owner in the source layout to its
+//! owner(s) in the target layout; the cost model charges the resulting
+//! point-to-point volume matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// Distribution of a one-dimensional array of `len` elements over a group of
+/// `q` cores.  (The CM-task compiler supports block-cyclic distributions
+/// over multi-dimensional meshes; the solvers of the evaluation use the
+/// one-dimensional cases, with replication as the common special case.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every core holds the full array.
+    Replicated,
+    /// Core `r` owns the contiguous range of ⌈len/q⌉-sized blocks
+    /// (last block possibly shorter).
+    Block,
+    /// Element `i` lives on core `i mod q`.
+    Cyclic,
+    /// Blocks of `block` consecutive elements dealt round-robin to cores.
+    BlockCyclic {
+        /// Elements per block.
+        block: usize,
+    },
+}
+
+impl Distribution {
+    /// The sorted list of element intervals `[lo, hi)` owned by `rank` of a
+    /// `q`-core group for an array of `len` elements.
+    pub fn intervals(&self, len: usize, rank: usize, q: usize) -> Vec<(usize, usize)> {
+        assert!(rank < q, "rank {rank} out of group size {q}");
+        match *self {
+            Distribution::Replicated => {
+                if len == 0 {
+                    vec![]
+                } else {
+                    vec![(0, len)]
+                }
+            }
+            Distribution::Block => {
+                let chunk = len.div_ceil(q);
+                let lo = (rank * chunk).min(len);
+                let hi = ((rank + 1) * chunk).min(len);
+                if lo < hi {
+                    vec![(lo, hi)]
+                } else {
+                    vec![]
+                }
+            }
+            Distribution::Cyclic => Distribution::BlockCyclic { block: 1 }
+                .intervals(len, rank, q),
+            Distribution::BlockCyclic { block } => {
+                assert!(block >= 1, "block size must be positive");
+                let mut out = Vec::new();
+                let mut lo = rank * block;
+                while lo < len {
+                    let hi = (lo + block).min(len);
+                    out.push((lo, hi));
+                    lo += q * block;
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of elements owned by `rank`.
+    pub fn elements_on(&self, len: usize, rank: usize, q: usize) -> usize {
+        self.intervals(len, rank, q)
+            .iter()
+            .map(|(lo, hi)| hi - lo)
+            .sum()
+    }
+
+    /// Number of elements owned by *both* `(self, rank_a)` in a `qa`-core
+    /// group and `(other, rank_b)` in a `qb`-core group.
+    pub fn overlap(
+        &self,
+        len: usize,
+        rank_a: usize,
+        qa: usize,
+        other: &Distribution,
+        rank_b: usize,
+        qb: usize,
+    ) -> usize {
+        let a = self.intervals(len, rank_a, qa);
+        let b = other.intervals(len, rank_b, qb);
+        interval_intersection(&a, &b)
+    }
+}
+
+/// Total size of the intersection of two sorted interval lists.
+fn interval_intersection(a: &[(usize, usize)], b: &[(usize, usize)]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut total = 0;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// The re-distribution volume matrix between a source group of `qs` cores
+/// holding `len` elements in distribution `src` and a destination group of
+/// `qd` cores expecting distribution `dst`.
+///
+/// `volume[s][d]` is the number of elements source rank `s` must send to
+/// destination rank `d`.  Elements already resident (same physical core — a
+/// concern of the mapping, not of this symbolic computation) are *not*
+/// subtracted here; the cost model does that once ranks are mapped to
+/// physical cores.
+#[allow(clippy::needless_range_loop)] // indices address the matrix directly
+pub fn redistribution_volumes(
+    len: usize,
+    src: Distribution,
+    qs: usize,
+    dst: Distribution,
+    qd: usize,
+) -> Vec<Vec<usize>> {
+    let mut vol = vec![vec![0usize; qd]; qs];
+    // Every destination rank needs its owned elements; each is served by the
+    // lowest source rank that owns it (replication means several sources
+    // own an element — one send suffices).
+    for d in 0..qd {
+        let need = dst.intervals(len, d, qd);
+        let mut remaining = need.clone();
+        for s in 0..qs {
+            if remaining.is_empty() {
+                break;
+            }
+            let have = src.intervals(len, s, qs);
+            let (taken, rest) = subtract_with_count(&remaining, &have);
+            vol[s][d] += taken;
+            remaining = rest;
+        }
+    }
+    vol
+}
+
+/// Remove from `need` everything covered by `have`; return the covered
+/// element count and the uncovered remainder.
+fn subtract_with_count(
+    need: &[(usize, usize)],
+    have: &[(usize, usize)],
+) -> (usize, Vec<(usize, usize)>) {
+    let mut covered = 0;
+    let mut rest = Vec::new();
+    for &(nlo, nhi) in need {
+        let mut lo = nlo;
+        for &(hlo, hhi) in have {
+            if hhi <= lo {
+                continue;
+            }
+            if hlo >= nhi {
+                break;
+            }
+            let ilo = lo.max(hlo);
+            let ihi = nhi.min(hhi);
+            if ilo < ihi {
+                if lo < ilo {
+                    rest.push((lo, ilo));
+                }
+                covered += ihi - ilo;
+                lo = ihi;
+                if lo >= nhi {
+                    break;
+                }
+            }
+        }
+        if lo < nhi {
+            rest.push((lo, nhi));
+        }
+    }
+    (covered, rest)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_intervals() {
+        let d = Distribution::Block;
+        assert_eq!(d.intervals(10, 0, 3), vec![(0, 4)]);
+        assert_eq!(d.intervals(10, 1, 3), vec![(4, 8)]);
+        assert_eq!(d.intervals(10, 2, 3), vec![(8, 10)]);
+        // All elements covered exactly once.
+        let total: usize = (0..3).map(|r| d.elements_on(10, r, 3)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn cyclic_intervals() {
+        let d = Distribution::Cyclic;
+        assert_eq!(d.elements_on(10, 0, 3), 4); // 0,3,6,9
+        assert_eq!(d.elements_on(10, 1, 3), 3); // 1,4,7
+        assert_eq!(d.elements_on(10, 2, 3), 3); // 2,5,8
+    }
+
+    #[test]
+    fn block_cyclic_intervals() {
+        let d = Distribution::BlockCyclic { block: 2 };
+        assert_eq!(d.intervals(12, 0, 3), vec![(0, 2), (6, 8)]);
+        assert_eq!(d.intervals(12, 2, 3), vec![(4, 6), (10, 12)]);
+    }
+
+    #[test]
+    fn replicated_owns_everything() {
+        let d = Distribution::Replicated;
+        for r in 0..4 {
+            assert_eq!(d.elements_on(100, r, 4), 100);
+        }
+    }
+
+    #[test]
+    fn partitions_cover_exactly() {
+        for d in [
+            Distribution::Block,
+            Distribution::Cyclic,
+            Distribution::BlockCyclic { block: 3 },
+        ] {
+            for len in [0usize, 1, 7, 16, 100] {
+                for q in [1usize, 2, 3, 5, 8] {
+                    let total: usize = (0..q).map(|r| d.elements_on(len, r, q)).sum();
+                    assert_eq!(total, len, "{d:?} len={len} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_block_to_cyclic() {
+        // 8 elements, block over 2 ranks vs cyclic over 2 ranks.
+        // Block rank 0 owns 0..4; cyclic rank 0 owns {0,2,4,6}.
+        let n = Distribution::Block.overlap(8, 0, 2, &Distribution::Cyclic, 0, 2);
+        assert_eq!(n, 2); // {0, 2}
+    }
+
+    #[test]
+    fn redistribution_block_to_block_same_q_is_diagonal() {
+        let vol = redistribution_volumes(16, Distribution::Block, 4, Distribution::Block, 4);
+        for s in 0..4 {
+            for d in 0..4 {
+                assert_eq!(vol[s][d], if s == d { 4 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn redistribution_covers_all_destination_needs() {
+        let len = 37;
+        for (src, qs) in [
+            (Distribution::Block, 3usize),
+            (Distribution::Cyclic, 4),
+            (Distribution::Replicated, 2),
+            (Distribution::BlockCyclic { block: 2 }, 5),
+        ] {
+            for (dst, qd) in [
+                (Distribution::Block, 5usize),
+                (Distribution::Cyclic, 3),
+                (Distribution::Replicated, 4),
+            ] {
+                let vol = redistribution_volumes(len, src, qs, dst, qd);
+                for d in 0..qd {
+                    let recv: usize = (0..qs).map(|s| vol[s][d]).sum();
+                    assert_eq!(
+                        recv,
+                        dst.elements_on(len, d, qd),
+                        "{src:?}x{qs} -> {dst:?}x{qd} rank {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_source_sends_from_lowest_rank_only() {
+        let vol =
+            redistribution_volumes(10, Distribution::Replicated, 3, Distribution::Block, 2);
+        // Source rank 0 covers everything; others send nothing.
+        assert_eq!(vol[0].iter().sum::<usize>(), 10);
+        assert_eq!(vol[1].iter().sum::<usize>(), 0);
+        assert_eq!(vol[2].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn subtract_with_count_basic() {
+        let (taken, rest) = subtract_with_count(&[(0, 10)], &[(2, 4), (6, 8)]);
+        assert_eq!(taken, 4);
+        assert_eq!(rest, vec![(0, 2), (4, 6), (8, 10)]);
+    }
+}

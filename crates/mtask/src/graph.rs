@@ -1,0 +1,454 @@
+//! The coordination DAG of an M-task program.
+
+use crate::task::MTask;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a task inside a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// How the data carried by an edge moves when producer and consumer execute
+/// on *different* groups of cores (an input–output relation requiring a
+/// re-distribution operation, paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RedistPattern {
+    /// Pure ordering (write-after-write / write-after-read); no data moves.
+    #[default]
+    None,
+    /// The consumer group needs a full replicated copy: broadcast from one
+    /// producer core into the consumer group.
+    Replicated,
+    /// Exchange between cores with the same position in concurrently
+    /// executed groups — the paper's *orthogonal* communication (§4.2), an
+    /// allgather over each orthogonal core set.
+    Orthogonal,
+    /// Block-distributed output re-partitioned into the consumer group's
+    /// block distribution (point-to-point scatter/gather between the
+    /// overlapping owners).
+    Block,
+}
+
+/// Payload of a coordination edge: the datum's total size and its movement
+/// pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Total size of the communicated datum in bytes (0 for pure ordering).
+    pub bytes: f64,
+    /// Movement pattern between different groups.
+    pub pattern: RedistPattern,
+}
+
+impl EdgeData {
+    /// A pure ordering edge carrying no data.
+    pub fn ordering() -> Self {
+        EdgeData {
+            bytes: 0.0,
+            pattern: RedistPattern::None,
+        }
+    }
+
+    /// A replicated datum of `bytes` total.
+    pub fn replicated(bytes: f64) -> Self {
+        EdgeData {
+            bytes,
+            pattern: RedistPattern::Replicated,
+        }
+    }
+
+    /// Merge two payloads on the same edge (keeps the larger volume; a data
+    /// pattern wins over a pure ordering pattern).
+    pub fn merge(self, other: EdgeData) -> EdgeData {
+        let pattern = if self.pattern == RedistPattern::None {
+            other.pattern
+        } else {
+            self.pattern
+        };
+        EdgeData {
+            bytes: self.bytes + other.bytes,
+            pattern,
+        }
+    }
+}
+
+/// A directed acyclic graph of M-tasks.
+///
+/// Nodes are [`MTask`]s; a directed edge `(a, b)` means `b` consumes output
+/// of `a` (or must be ordered after it) and therefore cannot start before
+/// `a` finished and the re-distribution described by the edge's
+/// [`EdgeData`] completed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<MTask>,
+    preds: Vec<Vec<TaskId>>,
+    succs: Vec<Vec<TaskId>>,
+    // Serialised as a sequence of entries: JSON map keys must be strings,
+    // so a tuple-keyed map needs the seq form.
+    #[serde(with = "edge_map_serde")]
+    edge_data: HashMap<(usize, usize), EdgeData>,
+}
+
+mod edge_map_serde {
+    use super::EdgeData;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<(usize, usize), EdgeData>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(usize, usize, EdgeData)> =
+            map.iter().map(|(&(a, b), d)| (a, b, *d)).collect();
+        entries.sort_by_key(|e| (e.0, e.1));
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<(usize, usize), EdgeData>, D::Error> {
+        let entries = Vec::<(usize, usize, EdgeData)>::deserialize(d)?;
+        Ok(entries.into_iter().map(|(a, b, e)| ((a, b), e)).collect())
+    }
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task, returning its id.
+    pub fn add_task(&mut self, task: MTask) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Add (or merge into an existing) edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics on self-loops or if the edge would create a cycle.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId, data: EdgeData) {
+        assert_ne!(from, to, "self-loop on task {:?}", from);
+        assert!(
+            !self.has_path(to, from),
+            "edge {:?} -> {:?} would create a cycle",
+            from,
+            to
+        );
+        match self.edge_data.entry((from.0, to.0)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let merged = e.get().merge(data);
+                *e.get_mut() = merged;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(data);
+                self.succs[from.0].push(to);
+                self.preds[to.0].push(from);
+            }
+        }
+    }
+
+    /// Add a pure ordering edge.
+    pub fn add_ordering_edge(&mut self, from: TaskId, to: TaskId) {
+        self.add_edge(from, to, EdgeData::ordering());
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_data.len()
+    }
+
+    /// The task payload.
+    pub fn task(&self, id: TaskId) -> &MTask {
+        &self.tasks[id.0]
+    }
+
+    /// Mutable access to a task payload.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut MTask {
+        &mut self.tasks[id.0]
+    }
+
+    /// All task ids in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.0]
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.0]
+    }
+
+    /// Edge payload, if the edge exists.
+    pub fn edge(&self, from: TaskId, to: TaskId) -> Option<&EdgeData> {
+        self.edge_data.get(&(from.0, to.0))
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId, &EdgeData)> + '_ {
+        self.edge_data
+            .iter()
+            .map(|(&(a, b), d)| (TaskId(a), TaskId(b), d))
+    }
+
+    /// True if there is a directed path `from ⤳ to` (including `from == to`).
+    pub fn has_path(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![from];
+        seen[from.0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.succs[u.0] {
+                if v == to {
+                    return true;
+                }
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Two tasks are *independent* if no path connects them in either
+    /// direction (paper §2.1) — only independent tasks may run concurrently.
+    pub fn independent(&self, a: TaskId, b: TaskId) -> bool {
+        a != b && !self.has_path(a, b) && !self.has_path(b, a)
+    }
+
+    /// A topological order (Kahn's algorithm).  The graph is acyclic by
+    /// construction, so this always succeeds.
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: std::collections::VecDeque<TaskId> = self
+            .task_ids()
+            .filter(|t| indeg[t.0] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.succs[u.0] {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.len(), "graph contains a cycle");
+        order
+    }
+
+    /// Source nodes (no predecessors).
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|t| self.preds[t.0].is_empty()).collect()
+    }
+
+    /// Sink nodes (no successors).
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|t| self.succs[t.0].is_empty()).collect()
+    }
+
+    /// Total sequential work of all tasks.
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+
+    /// Insert unique structural start and stop nodes connected to all current
+    /// sources/sinks (paper §2.2.3: "a unique start node and a unique stop
+    /// node that are inserted automatically").  Returns `(start, stop)`.
+    pub fn add_start_stop(&mut self) -> (TaskId, TaskId) {
+        let sources = self.sources();
+        let sinks = self.sinks();
+        let start = self.add_task(MTask::structural("start"));
+        let stop = self.add_task(MTask::structural("stop"));
+        for s in sources {
+            self.add_ordering_edge(start, s);
+        }
+        for s in sinks {
+            if s != start {
+                self.add_ordering_edge(s, stop);
+            }
+        }
+        if self.len() == 2 {
+            // Graph was empty: keep start before stop anyway.
+            self.add_ordering_edge(start, stop);
+        }
+        (start, stop)
+    }
+
+    /// Longest path length (in accumulated work) from sources to `id`,
+    /// inclusive — the *top level* used by list schedulers.
+    pub fn top_levels(&self, work_of: impl Fn(TaskId) -> f64) -> Vec<f64> {
+        let mut tl = vec![0.0_f64; self.len()];
+        for &u in &self.topo_order() {
+            let base: f64 = self.preds(u).iter().map(|p| tl[p.0]).fold(0.0, f64::max);
+            tl[u.0] = base + work_of(u);
+        }
+        tl
+    }
+
+    /// Longest path length (in accumulated work) from `id` to the sinks,
+    /// inclusive — the *bottom level* used by list schedulers.
+    pub fn bottom_levels(&self, work_of: impl Fn(TaskId) -> f64) -> Vec<f64> {
+        let mut bl = vec![0.0_f64; self.len()];
+        for &u in self.topo_order().iter().rev() {
+            let base: f64 = self.succs(u).iter().map(|s| bl[s.0]).fold(0.0, f64::max);
+            bl[u.0] = base + work_of(u);
+        }
+        bl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The nine-task example graph of the paper's Fig. 1.
+    pub(crate) fn fig1_graph() -> (TaskGraph, Vec<TaskId>) {
+        let mut g = TaskGraph::new();
+        let m: Vec<TaskId> = (1..=9)
+            .map(|i| g.add_task(MTask::compute(format!("M{i}"), i as f64)))
+            .collect();
+        // M1 feeds M2, M3, M4; M2->M5, M3->M5/M6, M4->M6; M5->M7/M8, M6->M8/M9.
+        let e = EdgeData::replicated(8.0);
+        g.add_edge(m[0], m[1], e);
+        g.add_edge(m[0], m[2], e);
+        g.add_edge(m[0], m[3], e);
+        g.add_edge(m[1], m[4], e);
+        g.add_edge(m[2], m[4], e);
+        g.add_edge(m[2], m[5], e);
+        g.add_edge(m[3], m[5], e);
+        g.add_edge(m[4], m[6], e);
+        g.add_edge(m[4], m[7], e);
+        g.add_edge(m[5], m[7], e);
+        g.add_edge(m[5], m[8], e);
+        (g, m)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, m) = fig1_graph();
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.edge_count(), 11);
+        assert_eq!(g.preds(m[4]).len(), 2);
+        assert_eq!(g.succs(m[0]).len(), 3);
+    }
+
+    #[test]
+    fn paths_and_independence() {
+        let (g, m) = fig1_graph();
+        assert!(g.has_path(m[0], m[8]));
+        assert!(!g.has_path(m[8], m[0]));
+        assert!(g.independent(m[1], m[2]));
+        assert!(g.independent(m[6], m[8]));
+        assert!(!g.independent(m[0], m[6]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1.0));
+        let b = g.add_task(MTask::compute("b", 1.0));
+        g.add_ordering_edge(a, b);
+        g.add_ordering_edge(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1.0));
+        g.add_ordering_edge(a, a);
+    }
+
+    #[test]
+    fn duplicate_edge_merges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1.0));
+        let b = g.add_task(MTask::compute("b", 1.0));
+        g.add_edge(a, b, EdgeData::ordering());
+        g.add_edge(a, b, EdgeData::replicated(100.0));
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edge(a, b).unwrap();
+        assert_eq!(e.pattern, RedistPattern::Replicated);
+        assert_eq!(e.bytes, 100.0);
+        assert_eq!(g.succs(a).len(), 1);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, _) = fig1_graph();
+        let order = g.topo_order();
+        assert_eq!(order.len(), g.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        for (a, b, _) in g.edges() {
+            assert!(pos[&a] < pos[&b], "{a:?} not before {b:?}");
+        }
+    }
+
+    #[test]
+    fn start_stop_unique() {
+        let (mut g, _) = fig1_graph();
+        let (start, stop) = g.add_start_stop();
+        assert_eq!(g.preds(start).len(), 0);
+        assert_eq!(g.succs(stop).len(), 0);
+        assert!(g.task(start).is_structural());
+        // Every original node is now between start and stop.
+        for t in g.task_ids() {
+            if t != start && t != stop {
+                assert!(g.has_path(start, t));
+                assert!(g.has_path(t, stop));
+            }
+        }
+    }
+
+    #[test]
+    fn levels() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 2.0));
+        let b = g.add_task(MTask::compute("b", 3.0));
+        let c = g.add_task(MTask::compute("c", 5.0));
+        g.add_ordering_edge(a, b);
+        g.add_ordering_edge(b, c);
+        let tl = g.top_levels(|t| g.task(t).work);
+        let bl = g.bottom_levels(|t| g.task(t).work);
+        assert_eq!(tl, vec![2.0, 5.0, 10.0]);
+        assert_eq!(bl, vec![10.0, 8.0, 5.0]);
+    }
+
+    #[test]
+    fn total_work_sums() {
+        let (g, _) = fig1_graph();
+        assert_eq!(g.total_work(), (1..=9).sum::<usize>() as f64);
+    }
+}

@@ -1,0 +1,750 @@
+//! Parser for the CM-task specification language (the coordination syntax
+//! of the paper's Fig. 3).
+//!
+//! The CM-task compiler consumes specification programs like
+//!
+//! ```text
+//! const R = 4;
+//! cmmain EPOL(eta_k : vector : inout : replic) {
+//!   var t, h : scalar;
+//!   var V : Rvectors;
+//!   seq {
+//!     init_step(t, h);
+//!     while (t < Tend) {
+//!       seq {
+//!         parfor (i = 1 : R) {
+//!           for (j = 1 : i) {
+//!             step(j, i, t, h, eta_k, V[i]);
+//!           }
+//!         }
+//!         combine(t, h, V, eta_k);
+//!       }
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! This module lexes and parses that syntax into the [`Spec`] coordination
+//! tree.  Basic M-tasks are *declared in code* through a [`TaskRegistry`]:
+//! for every callable name the registry supplies a builder that receives
+//! the evaluated arguments (loop indices resolved, array accesses like
+//! `V[i]` turned into names like `V1`) and returns the task body with its
+//! cost annotation and data directions — exactly the split of the CM-task
+//! compiler, where the coordination structure is textual and the basic
+//! M-tasks are external SPMD functions.
+
+use crate::spec::{Spec, SpecTask};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A resolved argument of a task call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// An integer (a literal, constant or loop variable value).
+    Int(i64),
+    /// A data name; indexed accesses are flattened (`V[2]` → `V2`).
+    Data(String),
+}
+
+impl Arg {
+    /// The integer value, if this argument is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Arg::Int(v) => Some(*v),
+            Arg::Data(_) => None,
+        }
+    }
+
+    /// The data name, if this argument is one.
+    pub fn as_data(&self) -> Option<&str> {
+        match self {
+            Arg::Data(s) => Some(s),
+            Arg::Int(_) => None,
+        }
+    }
+}
+
+/// Builder invoked for every occurrence of a basic M-task in the
+/// specification text.
+pub type TaskBuilder = dyn Fn(&[Arg]) -> SpecTask;
+
+/// The registry of basic M-tasks available to a specification program.
+#[derive(Default)]
+pub struct TaskRegistry {
+    builders: HashMap<String, Box<TaskBuilder>>,
+}
+
+impl TaskRegistry {
+    /// Empty registry.
+    pub fn new() -> TaskRegistry {
+        TaskRegistry::default()
+    }
+
+    /// Register a basic M-task under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        builder: impl Fn(&[Arg]) -> SpecTask + 'static,
+    ) -> &mut Self {
+        self.builders.insert(name.into(), Box::new(builder));
+        self
+    }
+
+    fn build(&self, name: &str, args: &[Arg]) -> Result<SpecTask, ParseError> {
+        self.builders
+            .get(name)
+            .map(|b| b(args))
+            .ok_or_else(|| ParseError::new(format!("unknown basic M-task `{name}`"), 0))
+    }
+}
+
+/// Parse error with a (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Line the error was detected on (0 when unknown).
+    pub line: usize,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a CM-task specification program into a [`Spec`].
+///
+/// `while_iters` supplies the estimated iteration count for every `while`
+/// loop (the condition is data-dependent and cannot be evaluated
+/// statically; the CM-task compiler takes the same estimate from
+/// annotations).
+pub fn parse(src: &str, registry: &TaskRegistry, while_iters: f64) -> Result<Spec, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        registry,
+        while_iters,
+        consts: HashMap::new(),
+        loop_vars: HashMap::new(),
+    };
+    p.program()
+}
+
+// --------------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    Punct(char),
+    /// `:` used both in ranges and declarations.
+    Colon,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ParseError::new("stray `/`", line));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0i64;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n * 10 + d as i64;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Number(n),
+                    line,
+                });
+            }
+            ':' => {
+                chars.next();
+                out.push(Token {
+                    tok: Tok::Colon,
+                    line,
+                });
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '<' | '>' | '+' | '-'
+            | '.' | '*' => {
+                chars.next();
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => return Err(ParseError::new(format!("unexpected character `{other}`"), line)),
+        }
+    }
+    Ok(out)
+}
+
+// -------------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    registry: &'a TaskRegistry,
+    while_iters: f64,
+    consts: HashMap<String, i64>,
+    loop_vars: HashMap<String, i64>,
+}
+
+impl Parser<'_> {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(ParseError::new(
+                format!("expected `{c}`, found {other:?}"),
+                self.line(),
+            )),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other:?}"),
+                self.line(),
+            )),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `program := { const_decl } cmmain`
+    fn program(&mut self) -> Result<Spec, ParseError> {
+        while self.eat_keyword("const") {
+            let name = self.expect_ident()?;
+            self.expect_punct('=')?;
+            // Either a number or `...`-style unspecified constants; the
+            // latter parse as dots we skip until `;`.
+            if let Some(Tok::Number(v)) = self.peek().cloned() {
+                self.pos += 1;
+                self.consts.insert(name, v);
+            } else {
+                // Skip tokens until the semicolon (unspecified constant).
+                while !matches!(self.peek(), Some(Tok::Punct(';')) | None) {
+                    self.pos += 1;
+                }
+            }
+            self.expect_punct(';')?;
+        }
+        if !self.eat_keyword("cmmain") {
+            return Err(ParseError::new("expected `cmmain`", self.line()));
+        }
+        let _name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        // Parameter declarations: skip to the closing parenthesis (their
+        // data distributions are carried by the task registry).
+        let mut depth = 1;
+        while depth > 0 {
+            match self.next() {
+                Some(Tok::Punct('(')) => depth += 1,
+                Some(Tok::Punct(')')) => depth -= 1,
+                Some(_) => {}
+                None => return Err(ParseError::new("unterminated parameter list", self.line())),
+            }
+        }
+        self.expect_punct('{')?;
+        // Variable declarations.
+        while self.eat_keyword("var") {
+            while !matches!(self.peek(), Some(Tok::Punct(';')) | None) {
+                self.pos += 1;
+            }
+            self.expect_punct(';')?;
+        }
+        let body = self.statement()?;
+        self.expect_punct('}')?;
+        Ok(body)
+    }
+
+    /// `stmt := seq | par | parfor | for | while | call`
+    fn statement(&mut self) -> Result<Spec, ParseError> {
+        if self.eat_keyword("seq") {
+            return Ok(Spec::Seq(self.block()?));
+        }
+        if self.eat_keyword("par") {
+            return Ok(Spec::Par(self.block()?));
+        }
+        if self.eat_keyword("parfor") {
+            return self.loop_stmt(true);
+        }
+        if self.eat_keyword("for") {
+            return self.loop_stmt(false);
+        }
+        if self.eat_keyword("while") {
+            // Skip the (data-dependent) condition.
+            self.expect_punct('(')?;
+            let mut depth = 1;
+            while depth > 0 {
+                match self.next() {
+                    Some(Tok::Punct('(')) => depth += 1,
+                    Some(Tok::Punct(')')) => depth -= 1,
+                    Some(_) => {}
+                    None => return Err(ParseError::new("unterminated while", self.line())),
+                }
+            }
+            let body = Spec::Seq(self.block_braced()?);
+            return Ok(Spec::while_loop("while", self.while_iters, body));
+        }
+        // Task call.
+        let name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Some(Tok::Punct(')'))) {
+            loop {
+                args.push(self.argument()?);
+                if matches!(self.peek(), Some(Tok::Punct(','))) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        self.expect_punct(';')?;
+        let task = self
+            .registry
+            .build(&name, &args)
+            .map_err(|mut e| {
+                e.line = self.line();
+                e
+            })?;
+        Ok(Spec::Task(task))
+    }
+
+    /// `{ stmt* }` — a brace-enclosed statement list.
+    fn block_braced(&mut self) -> Result<Vec<Spec>, ParseError> {
+        self.expect_punct('{')?;
+        let mut out = Vec::new();
+        while !matches!(self.peek(), Some(Tok::Punct('}'))) {
+            if self.peek().is_none() {
+                return Err(ParseError::new("unterminated block", self.line()));
+            }
+            out.push(self.statement()?);
+        }
+        self.expect_punct('}')?;
+        Ok(out)
+    }
+
+    /// Like [`Self::block_braced`], used after `seq` / `par`.
+    fn block(&mut self) -> Result<Vec<Spec>, ParseError> {
+        self.block_braced()
+    }
+
+    /// `(var = lo : hi) { body }` — eagerly unrolled.
+    fn loop_stmt(&mut self, parallel: bool) -> Result<Spec, ParseError> {
+        self.expect_punct('(')?;
+        let var = self.expect_ident()?;
+        self.expect_punct('=')?;
+        let lo = self.int_expr()?;
+        match self.next() {
+            Some(Tok::Colon) => {}
+            other => {
+                return Err(ParseError::new(
+                    format!("expected `:` in loop range, found {other:?}"),
+                    self.line(),
+                ))
+            }
+        }
+        let hi = self.int_expr()?;
+        self.expect_punct(')')?;
+        // Parse the body once per iteration value (eager unrolling, like
+        // the CM-task compiler's Fig. 4 graphs).
+        let body_start = self.pos;
+        let mut children = Vec::new();
+        let mut body_end = self.pos;
+        for v in lo..=hi {
+            self.pos = body_start;
+            let shadowed = self.loop_vars.insert(var.clone(), v);
+            let body = Spec::Seq(self.block_braced()?);
+            match shadowed {
+                Some(old) => {
+                    self.loop_vars.insert(var.clone(), old);
+                }
+                None => {
+                    self.loop_vars.remove(&var);
+                }
+            }
+            body_end = self.pos;
+            children.push(body);
+        }
+        if lo > hi {
+            // Empty range: still skip the body text.
+            self.pos = body_start;
+            let shadowed = self.loop_vars.insert(var.clone(), lo);
+            let _ = self.block_braced()?;
+            match shadowed {
+                Some(old) => {
+                    self.loop_vars.insert(var.clone(), old);
+                }
+                None => {
+                    self.loop_vars.remove(&var);
+                }
+            }
+            body_end = self.pos;
+            children.clear();
+        }
+        self.pos = body_end;
+        Ok(if parallel {
+            Spec::Par(children)
+        } else {
+            Spec::Seq(children)
+        })
+    }
+
+    /// `expr := term (('+'|'-') term)*` over integers.
+    fn int_expr(&mut self) -> Result<i64, ParseError> {
+        let mut v = self.int_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('+')) => {
+                    self.pos += 1;
+                    v += self.int_term()?;
+                }
+                Some(Tok::Punct('-')) => {
+                    self.pos += 1;
+                    v -= self.int_term()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn int_term(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            Some(Tok::Ident(name)) => self.lookup_int(&name),
+            other => Err(ParseError::new(
+                format!("expected integer expression, found {other:?}"),
+                self.line(),
+            )),
+        }
+    }
+
+    fn lookup_int(&self, name: &str) -> Result<i64, ParseError> {
+        self.loop_vars
+            .get(name)
+            .or_else(|| self.consts.get(name))
+            .copied()
+            .ok_or_else(|| {
+                ParseError::new(format!("unknown integer variable `{name}`"), self.line())
+            })
+    }
+
+    /// A task-call argument: integer expression, data name, or indexed
+    /// data name (`V[i]` → `V<i>`).
+    fn argument(&mut self) -> Result<Arg, ParseError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(Arg::Int(n)),
+            Some(Tok::Ident(name)) => {
+                // Indexed access?
+                if matches!(self.peek(), Some(Tok::Punct('['))) {
+                    self.pos += 1;
+                    let idx = self.int_expr()?;
+                    self.expect_punct(']')?;
+                    return Ok(Arg::Data(format!("{name}{idx}")));
+                }
+                // Loop variable or constant → integer; otherwise data name.
+                if let Ok(v) = self.lookup_int(&name) {
+                    Ok(Arg::Int(v))
+                } else {
+                    Ok(Arg::Data(name))
+                }
+            }
+            other => Err(ParseError::new(
+                format!("expected argument, found {other:?}"),
+                self.line(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RedistPattern;
+    use crate::spec::DataRef;
+    use crate::task::{CommOp, MTask};
+
+    /// The registry for the paper's Fig. 3 extrapolation program.
+    fn epol_registry(n_bytes: f64, step_work: f64) -> TaskRegistry {
+        let mut reg = TaskRegistry::new();
+        reg.register("init_step", move |args: &[Arg]| SpecTask {
+            task: MTask::compute("init_step", 2.0),
+            uses: vec![],
+            defines: args
+                .iter()
+                .filter_map(|a| a.as_data())
+                .map(|d| DataRef::replicated(d, 8.0))
+                .collect(),
+        });
+        reg.register("step", move |args: &[Arg]| {
+            // step(j, i, t, h, eta_k, V[i])
+            let j = args[0].as_int().expect("j");
+            let i = args[1].as_int().expect("i");
+            let v = args[5].as_data().expect("V[i]").to_string();
+            let mut uses = vec![];
+            if j == 1 {
+                uses.extend(["t".to_string(), "h".to_string(), "eta_k".to_string()]);
+            } else {
+                uses.push(v.clone());
+            }
+            SpecTask {
+                task: MTask::with_comm(
+                    format!("step({j},{i})"),
+                    step_work,
+                    vec![CommOp::allgather(n_bytes, 1.0)],
+                ),
+                uses,
+                defines: vec![DataRef {
+                    name: v,
+                    bytes: n_bytes,
+                    pattern: RedistPattern::Block,
+                }],
+            }
+        });
+        reg.register("combine", move |_args: &[Arg]| SpecTask {
+            task: MTask::with_comm("combine", 100.0, vec![CommOp::bcast(n_bytes, 1.0)]),
+            // `combine(t, h, V, eta_k)` reads the whole V array.
+            uses: (1..=4).map(|i| format!("V{i}")).collect(),
+            defines: vec![
+                DataRef::replicated("eta_k", n_bytes),
+                DataRef::replicated("t", 8.0),
+                DataRef::replicated("h", 8.0),
+            ],
+        });
+        reg
+    }
+
+    /// The specification program of the paper's Fig. 3, verbatim modulo
+    /// whitespace.
+    const FIG3: &str = r#"
+const R = 4;          // number of approximations
+const Tend = 100;     // end of integration interval
+cmmain EPOL(eta_k : vector : inout : replic) {
+  // definition of local variables
+  var t, h : scalar;  // time and step size
+  var V : Rvectors;   // approximation vectors
+  var i, j : int;
+  // module expression
+  seq {
+    init_step(t, h);
+    while (t < Tend) { // time stepping loop
+      seq {
+        parfor (i = 1 : R) {
+          for (j = 1 : i) {
+            step(j, i, t, h, eta_k, V[i]);
+          }
+        }
+        combine(t, h, V, eta_k);
+      }
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn fig3_parses_into_hierarchical_program() {
+        let reg = epol_registry(800.0, 50.0);
+        let spec = parse(FIG3, &reg, 100.0).expect("parse");
+        let prog = spec.compile();
+        // Upper level: init_step + while (+ start/stop).
+        assert_eq!(prog.upper.len(), 4);
+        assert_eq!(prog.loops.len(), 1);
+        // Body: R(R+1)/2 = 10 micro steps + combine (+ start/stop).
+        let body = prog.time_step_graph();
+        assert_eq!(body.len(), 10 + 1 + 2);
+    }
+
+    #[test]
+    fn fig3_body_has_the_papers_chain_structure() {
+        let reg = epol_registry(800.0, 50.0);
+        let spec = parse(FIG3, &reg, 100.0).expect("parse");
+        let prog = spec.compile();
+        let body = prog.time_step_graph();
+        let cg = crate::chain::ChainGraph::contract(body);
+        // Fig. 5: four chains + combine + start/stop.
+        assert_eq!(cg.graph.len(), 4 + 1 + 2);
+        let layers = crate::layer::layers(&cg.graph);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 4);
+    }
+
+    #[test]
+    fn constants_drive_unrolling() {
+        let reg = epol_registry(800.0, 50.0);
+        let smaller = FIG3.replace("const R = 4;", "const R = 2;");
+        let spec = parse(&smaller, &reg, 100.0).expect("parse");
+        let prog = spec.compile();
+        let body = prog.time_step_graph();
+        // R = 2: 3 micro steps + combine + start/stop.
+        assert_eq!(body.len(), 3 + 1 + 2);
+    }
+
+    #[test]
+    fn loop_ranges_support_arithmetic() {
+        let mut reg = TaskRegistry::new();
+        reg.register("work", |args: &[Arg]| SpecTask {
+            task: MTask::compute(format!("work{:?}", args[0].as_int()), 1.0),
+            uses: vec![],
+            defines: vec![],
+        });
+        let src = r#"
+const N = 3;
+cmmain M(x : vector : in : replic) {
+  seq {
+    for (i = 1 : N + 1) { work(i); }
+  }
+}
+"#;
+        let spec = parse(src, &reg, 1.0).expect("parse");
+        let g = spec.compile_flat();
+        // 4 iterations + start/stop.
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn unknown_task_is_an_error() {
+        let reg = TaskRegistry::new();
+        let src = "cmmain M(x : t : in : replic) { seq { nope(x); } }";
+        let err = parse(src, &reg, 1.0).unwrap_err();
+        assert!(err.message.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let reg = TaskRegistry::new();
+        let src = "const R = ;\ncmmain M() { seq { } }";
+        // `const R = ;` has an unspecified value — accepted (skipped).
+        assert!(parse(src, &reg, 1.0).is_ok());
+        let bad = "cmmain M() { seq { foo(; } }";
+        let err = parse(bad, &reg, 1.0).unwrap_err();
+        assert!(err.line >= 1, "{err:?}");
+    }
+
+    #[test]
+    fn nested_par_for_unrolls_product() {
+        let mut reg = TaskRegistry::new();
+        reg.register("t", |args: &[Arg]| SpecTask {
+            task: MTask::compute(
+                format!("t{}_{}", args[0].as_int().unwrap(), args[1].as_int().unwrap()),
+                1.0,
+            ),
+            uses: vec![],
+            defines: vec![],
+        });
+        let src = r#"
+cmmain M(x : v : in : replic) {
+  seq {
+    parfor (a = 1 : 2) {
+      parfor (b = 1 : 3) {
+        t(a, b);
+      }
+    }
+  }
+}
+"#;
+        let spec = parse(src, &reg, 1.0).expect("parse");
+        let g = spec.compile_flat();
+        assert_eq!(g.len(), 6 + 2);
+        // All six tasks are pairwise independent.
+        let ids: Vec<_> = g
+            .task_ids()
+            .filter(|t| !g.task(*t).is_structural())
+            .collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                assert!(g.independent(a, b));
+            }
+        }
+    }
+}

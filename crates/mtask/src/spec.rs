@@ -1,0 +1,636 @@
+//! Coordination specification DSL, mirroring the CM-task specification
+//! language of the paper's Fig. 3.
+//!
+//! A [`Spec`] composes M-tasks with the operators of the paper:
+//!
+//! * `seq { … }` — execution one after another due to input–output relations,
+//! * `par { … }` / `parfor` — independent branches (no relations between
+//!   them),
+//! * `for` — a loop *with* loop-carried input–output relations, eagerly
+//!   unrolled (like the CM-task compiler's loop unrolling, Fig. 4),
+//! * `while` — a time-stepping loop that becomes a single node of the upper
+//!   level graph; its body forms the lower level graph (hierarchical
+//!   scheduling, §2.2.3).
+//!
+//! Tasks declare which named data they *use* and *define*; the compiler
+//! derives the coordination edges from those declarations exactly as the
+//! CM-task compiler does: a read-after-write relation becomes a data edge
+//! (annotated with the datum's size and movement pattern), write-after-write
+//! and write-after-read become pure ordering edges.
+
+use crate::graph::{EdgeData, RedistPattern, TaskGraph, TaskId};
+use crate::task::MTask;
+use std::collections::HashMap;
+
+/// A named datum produced by a task, with the information the re-distribution
+/// cost model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRef {
+    /// Name of the datum (the "variable" of the specification program).
+    pub name: String,
+    /// Total size in bytes.
+    pub bytes: f64,
+    /// How the datum moves to a consumer executing on a different group.
+    pub pattern: RedistPattern,
+}
+
+impl DataRef {
+    /// A replicated datum (every core of the consumer group needs a copy).
+    pub fn replicated(name: impl Into<String>, bytes: f64) -> Self {
+        DataRef {
+            name: name.into(),
+            bytes,
+            pattern: RedistPattern::Replicated,
+        }
+    }
+
+    /// A datum exchanged via the *orthogonal* pattern (same-position cores of
+    /// concurrent groups).
+    pub fn orthogonal(name: impl Into<String>, bytes: f64) -> Self {
+        DataRef {
+            name: name.into(),
+            bytes,
+            pattern: RedistPattern::Orthogonal,
+        }
+    }
+
+    /// A block-distributed datum re-partitioned between groups.
+    pub fn block(name: impl Into<String>, bytes: f64) -> Self {
+        DataRef {
+            name: name.into(),
+            bytes,
+            pattern: RedistPattern::Block,
+        }
+    }
+}
+
+/// A task declaration inside a [`Spec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecTask {
+    /// The M-task itself.
+    pub task: MTask,
+    /// Names of data this task reads.
+    pub uses: Vec<String>,
+    /// Data this task (re)defines.
+    pub defines: Vec<DataRef>,
+}
+
+/// A coordination expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Spec {
+    /// A single M-task activation.
+    Task(SpecTask),
+    /// Children execute one after another (input–output relations allowed).
+    Seq(Vec<Spec>),
+    /// Children are independent and may execute concurrently.
+    Par(Vec<Spec>),
+    /// A time-stepping loop: one upper-level node, body is the lower-level
+    /// graph, executed `est_iters` times on average.
+    While {
+        /// Loop name for the upper-level node.
+        name: String,
+        /// Estimated (average) number of iterations.
+        est_iters: f64,
+        /// Loop body.
+        body: Box<Spec>,
+    },
+}
+
+impl Spec {
+    /// A task with no declared data (pure compute node).
+    pub fn task(task: MTask) -> Spec {
+        Spec::Task(SpecTask {
+            task,
+            uses: Vec::new(),
+            defines: Vec::new(),
+        })
+    }
+
+    /// Declare data read by this task (only valid on `Spec::Task`).
+    pub fn uses<I, S>(mut self, names: I) -> Spec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        match &mut self {
+            Spec::Task(t) => t.uses.extend(names.into_iter().map(Into::into)),
+            _ => panic!("`uses` applies to task specs only"),
+        }
+        self
+    }
+
+    /// Declare data defined by this task (only valid on `Spec::Task`).
+    pub fn defines<I>(mut self, refs: I) -> Spec
+    where
+        I: IntoIterator<Item = DataRef>,
+    {
+        match &mut self {
+            Spec::Task(t) => t.defines.extend(refs),
+            _ => panic!("`defines` applies to task specs only"),
+        }
+        self
+    }
+
+    /// `seq { … }`.
+    pub fn seq(children: Vec<Spec>) -> Spec {
+        Spec::Seq(children)
+    }
+
+    /// `par { … }`.
+    pub fn par(children: Vec<Spec>) -> Spec {
+        Spec::Par(children)
+    }
+
+    /// `for (i = range) { f(i) }` — loop *with* dependencies between
+    /// iterations, eagerly unrolled into a `seq`.
+    pub fn for_loop(
+        range: impl IntoIterator<Item = usize>,
+        f: impl FnMut(usize) -> Spec,
+    ) -> Spec {
+        Spec::Seq(range.into_iter().map(f).collect())
+    }
+
+    /// `parfor (i = range) { f(i) }` — loop *without* dependencies between
+    /// iterations, eagerly unrolled into a `par`.
+    pub fn parfor(
+        range: impl IntoIterator<Item = usize>,
+        f: impl FnMut(usize) -> Spec,
+    ) -> Spec {
+        Spec::Par(range.into_iter().map(f).collect())
+    }
+
+    /// `while (…) { body }` with an estimated iteration count.
+    pub fn while_loop(name: impl Into<String>, est_iters: f64, body: Spec) -> Spec {
+        Spec::While {
+            name: name.into(),
+            est_iters,
+            body: Box::new(body),
+        }
+    }
+
+    /// Compile to a hierarchical two-level program.
+    pub fn compile(&self) -> TwoLevelProgram {
+        let mut upper = TaskGraph::new();
+        let mut loops = HashMap::new();
+        let mut env = Env::default();
+        compile_into(self, &mut upper, &mut env, &mut Some(&mut loops));
+        let (start, stop) = upper.add_start_stop();
+        TwoLevelProgram {
+            upper,
+            loops,
+            start,
+            stop,
+        }
+    }
+
+    /// Compile a spec that contains no `while` loops into a flat task graph
+    /// with unique start/stop nodes.  Panics on `while`.
+    pub fn compile_flat(&self) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut env = Env::default();
+        compile_into(self, &mut g, &mut env, &mut None);
+        g.add_start_stop();
+        g
+    }
+}
+
+/// The body graph of a `while` node, scheduled hierarchically: the cores
+/// assigned to the loop node in the upper-level schedule become the machine
+/// for the body graph.
+#[derive(Debug, Clone)]
+pub struct LoopBody {
+    /// The lower-level task graph (one loop iteration), with start/stop.
+    pub graph: TaskGraph,
+    /// Estimated number of iterations.
+    pub est_iters: f64,
+}
+
+/// A compiled hierarchical M-task program: the upper-level graph plus one
+/// lower-level graph per `while` node.
+#[derive(Debug, Clone)]
+pub struct TwoLevelProgram {
+    /// Upper-level task graph (whole loops appear as single nodes).
+    pub upper: TaskGraph,
+    /// Lower-level graphs, keyed by their upper-level node.
+    pub loops: HashMap<TaskId, LoopBody>,
+    /// Structural start node of the upper graph.
+    pub start: TaskId,
+    /// Structural stop node of the upper graph.
+    pub stop: TaskId,
+}
+
+impl TwoLevelProgram {
+    /// Convenience accessor for the common "one time-stepping loop" shape:
+    /// returns the body graph of the unique `while` node.
+    ///
+    /// # Panics
+    /// Panics if the program does not contain exactly one loop.
+    pub fn time_step_graph(&self) -> &TaskGraph {
+        assert_eq!(
+            self.loops.len(),
+            1,
+            "program has {} loops, expected exactly 1",
+            self.loops.len()
+        );
+        &self.loops.values().next().unwrap().graph
+    }
+}
+
+/// Def/use environment threaded through compilation.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Env {
+    /// Current writers per datum (several after a `par` in which multiple
+    /// branches wrote disjoint parts — the spec writer guarantees
+    /// independence, as `parfor` does in the CM-task language).
+    writers: HashMap<String, Vec<(TaskId, DataRef)>>,
+    /// Readers since the last write, per datum.
+    readers: HashMap<String, Vec<TaskId>>,
+}
+
+type LoopSink<'a> = Option<&'a mut HashMap<TaskId, LoopBody>>;
+
+fn compile_into(spec: &Spec, g: &mut TaskGraph, env: &mut Env, loops: &mut LoopSink<'_>) {
+    match spec {
+        Spec::Task(st) => {
+            let id = g.add_task(st.task.clone());
+            for name in &st.uses {
+                if let Some(ws) = env.writers.get(name) {
+                    for (w, dref) in ws.clone() {
+                        g.add_edge(
+                            w,
+                            id,
+                            EdgeData {
+                                bytes: dref.bytes,
+                                pattern: dref.pattern,
+                            },
+                        );
+                    }
+                }
+                env.readers.entry(name.clone()).or_default().push(id);
+            }
+            for dref in &st.defines {
+                // WAW ordering after previous writers… (skipped when the
+                // ordering already follows transitively — this keeps the
+                // graphs identical to the paper's Fig. 4, where e.g. the
+                // write-after-read relations of the EPOL combine task are
+                // subsumed by the micro-step chains).
+                if let Some(ws) = env.writers.get(&dref.name) {
+                    for (w, _) in ws.clone() {
+                        if w != id && !g.has_path(w, id) {
+                            g.add_edge(w, id, EdgeData::ordering());
+                        }
+                    }
+                }
+                // …and WAR ordering after previous readers.
+                if let Some(rs) = env.readers.get(&dref.name) {
+                    for r in rs.clone() {
+                        if r != id && !g.has_path(r, id) {
+                            g.add_edge(r, id, EdgeData::ordering());
+                        }
+                    }
+                }
+                env.writers
+                    .insert(dref.name.clone(), vec![(id, dref.clone())]);
+                env.readers.insert(dref.name.clone(), Vec::new());
+            }
+        }
+        Spec::Seq(children) => {
+            for c in children {
+                compile_into(c, g, env, loops);
+            }
+        }
+        Spec::Par(children) => {
+            let snapshot = env.clone();
+            let mut merged = snapshot.clone();
+            for c in children {
+                let mut branch = snapshot.clone();
+                compile_into(c, g, &mut branch, loops);
+                merge_env(&snapshot, &branch, &mut merged);
+            }
+            *env = merged;
+        }
+        Spec::While {
+            name,
+            est_iters,
+            body,
+        } => {
+            let sink = loops
+                .as_deref_mut()
+                .expect("`while` loops are only allowed at the upper level");
+            // Compile the body into its own graph with a fresh environment;
+            // data flowing into the loop from outside is summarised on the
+            // upper level below.
+            let mut body_graph = TaskGraph::new();
+            let mut body_env = Env::default();
+            compile_into(body, &mut body_graph, &mut body_env, &mut None);
+            body_graph.add_start_stop();
+
+            // The upper-level node accumulates the body cost × iterations.
+            let mut node = MTask::compute(name.clone(), 0.0);
+            let mut cap: Option<usize> = None;
+            for t in body_graph.task_ids() {
+                let task = body_graph.task(t);
+                node.work += task.work * est_iters;
+                for op in &task.comm {
+                    let mut scaled = op.clone();
+                    scaled.count *= est_iters;
+                    node.comm.push(scaled);
+                }
+                cap = match (cap, task.max_cores) {
+                    (None, c) => c,
+                    (c, None) => c,
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                };
+            }
+            node.max_cores = cap;
+
+            // Upper-level def/use: what the body reads before writing comes
+            // from outside; everything it writes is visible after the loop.
+            let (ext_uses, ext_defs) = body_def_use(body);
+            let id = g.add_task(node);
+            for name in &ext_uses {
+                if let Some(ws) = env.writers.get(name) {
+                    for (w, dref) in ws.clone() {
+                        g.add_edge(
+                            w,
+                            id,
+                            EdgeData {
+                                bytes: dref.bytes,
+                                pattern: dref.pattern,
+                            },
+                        );
+                    }
+                }
+                env.readers.entry(name.clone()).or_default().push(id);
+            }
+            for dref in &ext_defs {
+                if let Some(ws) = env.writers.get(&dref.name) {
+                    for (w, _) in ws.clone() {
+                        if w != id && !g.has_path(w, id) {
+                            g.add_edge(w, id, EdgeData::ordering());
+                        }
+                    }
+                }
+                env.writers
+                    .insert(dref.name.clone(), vec![(id, dref.clone())]);
+                env.readers.insert(dref.name.clone(), Vec::new());
+            }
+
+            sink.insert(
+                id,
+                LoopBody {
+                    graph: body_graph,
+                    est_iters: *est_iters,
+                },
+            );
+        }
+    }
+}
+
+/// Merge a branch environment produced from `snapshot` into `merged`.
+fn merge_env(snapshot: &Env, branch: &Env, merged: &mut Env) {
+    for (name, ws) in &branch.writers {
+        if snapshot.writers.get(name) != Some(ws) {
+            let entry = merged.writers.entry(name.clone()).or_default();
+            if snapshot.writers.get(name) == Some(entry) || entry.is_empty() {
+                *entry = ws.clone();
+            } else if merged.writers.get(name) != Some(ws) {
+                // Another branch also wrote: union the writer sets.
+                let entry = merged.writers.entry(name.clone()).or_default();
+                for w in ws {
+                    if !entry.contains(w) {
+                        entry.push(w.clone());
+                    }
+                }
+            }
+        }
+    }
+    for (name, rs) in &branch.readers {
+        let snap = snapshot.readers.get(name);
+        if snap != Some(rs) {
+            let entry = merged.readers.entry(name.clone()).or_default();
+            for r in rs {
+                if !entry.contains(r) {
+                    entry.push(*r);
+                }
+            }
+        }
+    }
+}
+
+/// External uses (read before any write in the body) and final definitions
+/// of a loop body, in textual order.
+fn body_def_use(spec: &Spec) -> (Vec<String>, Vec<DataRef>) {
+    let mut written: HashMap<String, DataRef> = HashMap::new();
+    let mut ext_uses: Vec<String> = Vec::new();
+    collect_def_use(spec, &mut written, &mut ext_uses);
+    (ext_uses, written.into_values().collect())
+}
+
+fn collect_def_use(
+    spec: &Spec,
+    written: &mut HashMap<String, DataRef>,
+    ext_uses: &mut Vec<String>,
+) {
+    match spec {
+        Spec::Task(st) => {
+            for u in &st.uses {
+                if !written.contains_key(u) && !ext_uses.contains(u) {
+                    ext_uses.push(u.clone());
+                }
+            }
+            for d in &st.defines {
+                written.insert(d.name.clone(), d.clone());
+            }
+        }
+        Spec::Seq(cs) | Spec::Par(cs) => {
+            for c in cs {
+                collect_def_use(c, written, ext_uses);
+            }
+        }
+        Spec::While { body, .. } => collect_def_use(body, written, ext_uses),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::CommOp;
+
+    /// The extrapolation-method specification of the paper's Fig. 3, with
+    /// parameter `R`.
+    pub fn epol_spec(r: usize, step_work: f64) -> Spec {
+        let n_bytes = 800.0; // size of an approximation vector in bytes
+        Spec::seq(vec![
+            Spec::task(MTask::compute("init_step", 1.0))
+                .defines([DataRef::replicated("t", 8.0), DataRef::replicated("h", 8.0)]),
+            Spec::while_loop(
+                "time_stepping",
+                100.0,
+                Spec::seq(vec![
+                    Spec::parfor(1..=r, |i| {
+                        Spec::for_loop(1..=i, |j| {
+                            let mut s = Spec::task(MTask::with_comm(
+                                format!("step({j},{i})"),
+                                step_work,
+                                vec![CommOp::allgather(n_bytes, 1.0)],
+                            ))
+                            .uses(["t", "h", "eta_k"]);
+                            if j > 1 {
+                                s = s.uses([format!("V{i}")]);
+                            }
+                            s.defines([DataRef::orthogonal(format!("V{i}"), n_bytes)])
+                        })
+                    }),
+                    Spec::task(MTask::with_comm(
+                        "combine",
+                        2.0 * r as f64,
+                        vec![CommOp::bcast(n_bytes, 1.0)],
+                    ))
+                    .uses((1..=r).map(|i| format!("V{i}")))
+                    .defines([
+                        DataRef::replicated("eta_k", n_bytes),
+                        DataRef::replicated("t", 8.0),
+                        DataRef::replicated("h", 8.0),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn simple_seq_creates_raw_edges() {
+        let spec = Spec::seq(vec![
+            Spec::task(MTask::compute("m1", 1.0)).defines([
+                DataRef::replicated("A", 100.0),
+                DataRef::replicated("B", 200.0),
+            ]),
+            Spec::task(MTask::compute("m2", 1.0)).uses(["A"]),
+            Spec::task(MTask::compute("m3", 1.0)).uses(["B"]),
+        ]);
+        let g = spec.compile_flat();
+        // 3 tasks + start + stop
+        assert_eq!(g.len(), 5);
+        let (m1, m2, m3) = (TaskId(0), TaskId(1), TaskId(2));
+        assert_eq!(g.edge(m1, m2).unwrap().bytes, 100.0);
+        assert_eq!(g.edge(m1, m3).unwrap().bytes, 200.0);
+        assert!(g.edge(m2, m3).is_none(), "m2 and m3 are independent");
+        assert!(g.independent(m2, m3));
+    }
+
+    #[test]
+    fn war_and_waw_ordering() {
+        let spec = Spec::seq(vec![
+            Spec::task(MTask::compute("w1", 1.0)).defines([DataRef::replicated("A", 8.0)]),
+            Spec::task(MTask::compute("r1", 1.0)).uses(["A"]),
+            Spec::task(MTask::compute("w2", 1.0)).defines([DataRef::replicated("A", 8.0)]),
+        ]);
+        let g = spec.compile_flat();
+        let (w1, r1, w2) = (TaskId(0), TaskId(1), TaskId(2));
+        assert!(g.edge(w1, r1).is_some());
+        // WAR: w2 after r1; WAW: w2 after w1.
+        assert!(g.edge(r1, w2).is_some());
+        assert!(g.edge(w1, w2).is_some());
+        assert_eq!(g.edge(r1, w2).unwrap().pattern, RedistPattern::None);
+    }
+
+    #[test]
+    fn par_branches_are_independent() {
+        let spec = Spec::seq(vec![
+            Spec::task(MTask::compute("src", 1.0)).defines([DataRef::replicated("X", 8.0)]),
+            Spec::parfor(0..4, |i| {
+                Spec::task(MTask::compute(format!("p{i}"), 1.0))
+                    .uses(["X"])
+                    .defines([DataRef::replicated(format!("Y{i}"), 8.0)])
+            }),
+            Spec::task(MTask::compute("join", 1.0)).uses((0..4).map(|i| format!("Y{i}"))),
+        ]);
+        let g = spec.compile_flat();
+        let branches: Vec<TaskId> = (1..=4).map(TaskId).collect();
+        for (i, &a) in branches.iter().enumerate() {
+            for &b in &branches[i + 1..] {
+                assert!(g.independent(a, b));
+            }
+        }
+        let join = TaskId(5);
+        for &b in &branches {
+            assert!(g.edge(b, join).is_some());
+        }
+    }
+
+    #[test]
+    fn par_then_write_orders_after_all_readers() {
+        // Two parallel readers of A, then a writer of A: WAR edges from both.
+        let spec = Spec::seq(vec![
+            Spec::task(MTask::compute("w", 1.0)).defines([DataRef::replicated("A", 8.0)]),
+            Spec::par(vec![
+                Spec::task(MTask::compute("r1", 1.0)).uses(["A"]),
+                Spec::task(MTask::compute("r2", 1.0)).uses(["A"]),
+            ]),
+            Spec::task(MTask::compute("w2", 1.0)).defines([DataRef::replicated("A", 8.0)]),
+        ]);
+        let g = spec.compile_flat();
+        let (r1, r2, w2) = (TaskId(1), TaskId(2), TaskId(3));
+        assert!(g.edge(r1, w2).is_some());
+        assert!(g.edge(r2, w2).is_some());
+    }
+
+    #[test]
+    fn epol_compiles_to_hierarchical_graph() {
+        let r = 4;
+        let prog = epol_spec(r, 10.0).compile();
+        // Upper level: init_step + while node (+ start/stop).
+        assert_eq!(prog.upper.len(), 4);
+        assert_eq!(prog.loops.len(), 1);
+        let body = prog.time_step_graph();
+        // Body: R*(R+1)/2 step tasks + combine + start/stop.
+        let steps = r * (r + 1) / 2;
+        assert_eq!(body.len(), steps + 1 + 2);
+    }
+
+    #[test]
+    fn epol_body_micro_steps_form_chains() {
+        let r = 4;
+        let prog = epol_spec(r, 10.0).compile();
+        let body = prog.time_step_graph();
+        let cg = crate::chain::ChainGraph::contract(body);
+        // After contraction: R chain nodes + combine + start + stop.
+        assert_eq!(cg.graph.len(), r + 3);
+    }
+
+    #[test]
+    fn epol_body_layers() {
+        let r = 4;
+        let prog = epol_spec(r, 10.0).compile();
+        let body = prog.time_step_graph();
+        let cg = crate::chain::ChainGraph::contract(body);
+        let layers = crate::layer::layers(&cg.graph);
+        // Layer 1: the R approximation chains; layer 2: combine (Fig. 5).
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), r);
+        assert_eq!(layers[1].len(), 1);
+    }
+
+    #[test]
+    fn while_node_accumulates_cost() {
+        let prog = epol_spec(2, 10.0).compile();
+        let (&loop_id, body) = prog.loops.iter().next().unwrap();
+        let node = prog.upper.task(loop_id);
+        let body_work = body.graph.total_work();
+        assert!((node.work - body_work * body.est_iters).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper level")]
+    fn nested_while_rejected() {
+        let inner = Spec::while_loop("inner", 2.0, Spec::task(MTask::compute("t", 1.0)));
+        let outer = Spec::while_loop("outer", 2.0, inner);
+        outer.compile();
+    }
+
+    #[test]
+    #[should_panic(expected = "task specs only")]
+    fn uses_on_seq_panics() {
+        let _ = Spec::seq(vec![]).uses(["x"]);
+    }
+}

@@ -1,0 +1,314 @@
+//! NPB-MZ problem classes and zone generators.
+
+use serde::{Deserialize, Serialize};
+
+/// NPB-MZ problem class: zone grid and aggregate problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// 4×4 zones, 128×128×16 aggregate points.
+    A,
+    /// 8×8 zones, 304×208×17 aggregate points.
+    B,
+    /// 16×16 zones, 480×320×28 aggregate points (256 zones, paper Fig. 17).
+    C,
+    /// 32×32 zones, 1632×1216×34 aggregate points (1024 zones).
+    D,
+}
+
+impl Class {
+    /// `(x_zones, y_zones)`.
+    pub fn zone_grid(&self) -> (usize, usize) {
+        match self {
+            Class::A => (4, 4),
+            Class::B => (8, 8),
+            Class::C => (16, 16),
+            Class::D => (32, 32),
+        }
+    }
+
+    /// Aggregate grid points `(gx, gy, gz)`.
+    pub fn aggregate(&self) -> (usize, usize, usize) {
+        match self {
+            Class::A => (128, 128, 16),
+            Class::B => (304, 208, 17),
+            Class::C => (480, 320, 28),
+            Class::D => (1632, 1216, 34),
+        }
+    }
+
+    /// Total zones.
+    pub fn zones(&self) -> usize {
+        let (x, y) = self.zone_grid();
+        x * y
+    }
+}
+
+/// One zone of a multi-zone mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Zone id (row-major over the zone grid).
+    pub id: usize,
+    /// Zone-grid x index.
+    pub ix: usize,
+    /// Zone-grid y index.
+    pub iy: usize,
+    /// Grid points in x.
+    pub nx: usize,
+    /// Grid points in y.
+    pub ny: usize,
+    /// Grid points in z.
+    pub nz: usize,
+}
+
+impl Zone {
+    /// Grid points of the zone.
+    pub fn points(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// A multi-zone problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiZone {
+    /// `"SP-MZ"` or `"BT-MZ"`.
+    pub name: String,
+    /// Problem class.
+    pub class: Class,
+    /// Zones in row-major order.
+    pub zones: Vec<Zone>,
+    /// Zone-grid width.
+    pub x_zones: usize,
+    /// Zone-grid height.
+    pub y_zones: usize,
+    /// Floating-point operations per grid point per time step.
+    pub flops_per_point: f64,
+}
+
+impl MultiZone {
+    /// Zone at zone-grid position.
+    pub fn zone_at(&self, ix: usize, iy: usize) -> &Zone {
+        &self.zones[iy * self.x_zones + ix]
+    }
+
+    /// Neighbour zone ids of a zone (periodic in x and y, like NPB-MZ).
+    pub fn neighbors(&self, id: usize) -> Vec<usize> {
+        let z = &self.zones[id];
+        let (xz, yz) = (self.x_zones, self.y_zones);
+        let mut out = Vec::with_capacity(4);
+        let east = (z.ix + 1) % xz;
+        let west = (z.ix + xz - 1) % xz;
+        let north = (z.iy + 1) % yz;
+        let south = (z.iy + yz - 1) % yz;
+        for (ix, iy) in [(east, z.iy), (west, z.iy), (z.ix, north), (z.ix, south)] {
+            let nid = iy * xz + ix;
+            if nid != id && !out.contains(&nid) {
+                out.push(nid);
+            }
+        }
+        out
+    }
+
+    /// Bytes exchanged between two neighbouring zones per step (shared
+    /// face × 5 flow variables × f64).
+    pub fn border_bytes(&self, a: usize, b: usize) -> f64 {
+        let za = &self.zones[a];
+        let zb = &self.zones[b];
+        let face = if za.iy == zb.iy {
+            // x-neighbours: share a y–z face.
+            za.ny.min(zb.ny) * za.nz
+        } else {
+            za.nx.min(zb.nx) * za.nz
+        };
+        (face * 5 * 8) as f64
+    }
+
+    /// Total grid points.
+    pub fn total_points(&self) -> usize {
+        self.zones.iter().map(Zone::points).sum()
+    }
+
+    /// Ratio of the largest to the smallest zone (1 for SP-MZ, ≈ 20 for
+    /// BT-MZ).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.zones.iter().map(Zone::points).max().unwrap_or(1);
+        let min = self.zones.iter().map(Zone::points).min().unwrap_or(1);
+        max as f64 / min as f64
+    }
+}
+
+/// SP-MZ: equally sized zones.
+pub fn sp_mz(class: Class) -> MultiZone {
+    let (xz, yz) = class.zone_grid();
+    let (gx, gy, gz) = class.aggregate();
+    let widths = equal_split(gx, xz);
+    let heights = equal_split(gy, yz);
+    MultiZone {
+        name: "SP-MZ".into(),
+        class,
+        zones: make_zones(&widths, &heights, gz),
+        x_zones: xz,
+        y_zones: yz,
+        flops_per_point: 1000.0,
+    }
+}
+
+/// BT-MZ: zone widths and heights in geometric progression so the largest
+/// zone is ≈ 20× the smallest (the NPB-MZ load-imbalance design).
+pub fn bt_mz(class: Class) -> MultiZone {
+    let (xz, yz) = class.zone_grid();
+    let (gx, gy, gz) = class.aggregate();
+    // Split the target area ratio 20 over both directions.
+    let ratio_per_dim = 20.0_f64.sqrt();
+    let widths = geometric_split(gx, xz, ratio_per_dim);
+    let heights = geometric_split(gy, yz, ratio_per_dim);
+    MultiZone {
+        name: "BT-MZ".into(),
+        class,
+        zones: make_zones(&widths, &heights, gz),
+        x_zones: xz,
+        y_zones: yz,
+        flops_per_point: 1800.0,
+    }
+}
+
+fn make_zones(widths: &[usize], heights: &[usize], gz: usize) -> Vec<Zone> {
+    let mut zones = Vec::with_capacity(widths.len() * heights.len());
+    for (iy, &ny) in heights.iter().enumerate() {
+        for (ix, &nx) in widths.iter().enumerate() {
+            zones.push(Zone {
+                id: zones.len(),
+                ix,
+                iy,
+                nx,
+                ny,
+                nz: gz,
+            });
+        }
+    }
+    zones
+}
+
+/// Split `total` into `parts` near-equal positive sizes.
+fn equal_split(total: usize, parts: usize) -> Vec<usize> {
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Split `total` into `parts` sizes following a geometric progression with
+/// overall ratio `ratio` (largest/smallest), preserving the total exactly
+/// and keeping every part ≥ 2.
+fn geometric_split(total: usize, parts: usize, ratio: f64) -> Vec<usize> {
+    if parts == 1 {
+        return vec![total];
+    }
+    let rho = ratio.powf(1.0 / (parts as f64 - 1.0));
+    let raw: Vec<f64> = (0..parts).map(|i| rho.powi(i as i32)).collect();
+    let sum: f64 = raw.iter().sum();
+    let mut sizes: Vec<usize> = raw
+        .iter()
+        .map(|r| ((r / sum * total as f64).floor() as usize).max(2))
+        .collect();
+    // Fix rounding drift on the largest part, then restore the ascending
+    // order the fix-up may have perturbed (BT-MZ zones grow along the
+    // axis).
+    let assigned: usize = sizes.iter().sum();
+    let last = parts - 1;
+    if assigned < total {
+        sizes[last] += total - assigned;
+    } else {
+        let mut excess = assigned - total;
+        for i in (0..parts).rev() {
+            let take = excess.min(sizes[i].saturating_sub(2));
+            sizes[i] -= take;
+            excess -= take;
+            if excess == 0 {
+                break;
+            }
+        }
+        assert_eq!(excess, 0, "cannot split {total} into {parts} parts of ≥ 2");
+    }
+    sizes.sort_unstable();
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_c_matches_paper() {
+        assert_eq!(Class::C.zones(), 256);
+        assert_eq!(Class::D.zones(), 1024);
+    }
+
+    #[test]
+    fn sp_zones_are_equal_and_cover() {
+        let mz = sp_mz(Class::C);
+        assert_eq!(mz.zones.len(), 256);
+        assert!(mz.imbalance() < 1.2);
+        let (gx, gy, gz) = Class::C.aggregate();
+        assert_eq!(mz.total_points(), gx * gy * gz);
+    }
+
+    #[test]
+    fn bt_zones_are_imbalanced_and_cover() {
+        for class in [Class::A, Class::B, Class::C] {
+            let mz = bt_mz(class);
+            let (gx, gy, gz) = class.aggregate();
+            assert_eq!(mz.total_points(), gx * gy * gz, "{class:?}");
+            let imb = mz.imbalance();
+            assert!(
+                imb > 8.0 && imb < 40.0,
+                "{class:?}: imbalance {imb} should be ≈ 20"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let mz = sp_mz(Class::A);
+        for z in 0..mz.zones.len() {
+            for n in mz.neighbors(z) {
+                assert!(mz.neighbors(n).contains(&z), "{z} -> {n} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_count_is_four_on_torus() {
+        let mz = sp_mz(Class::B);
+        for z in 0..mz.zones.len() {
+            assert_eq!(mz.neighbors(z).len(), 4);
+        }
+    }
+
+    #[test]
+    fn border_bytes_use_shared_faces() {
+        let mz = sp_mz(Class::A);
+        let a = mz.zone_at(0, 0);
+        let east = mz.zone_at(1, 0);
+        let bytes = mz.border_bytes(a.id, east.id);
+        assert_eq!(bytes, (a.ny.min(east.ny) * a.nz * 40) as f64);
+    }
+
+    #[test]
+    fn geometric_split_preserves_total() {
+        for total in [100usize, 480, 1632] {
+            for parts in [4usize, 16, 32] {
+                let s = geometric_split(total, parts, 20.0);
+                assert_eq!(s.iter().sum::<usize>(), total);
+                assert!(s.iter().all(|&v| v >= 2));
+                // Monotone non-decreasing.
+                for w in s.windows(2) {
+                    assert!(w[1] >= w[0], "{s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bt_has_more_flops_per_point_than_sp() {
+        assert!(bt_mz(Class::A).flops_per_point > sp_mz(Class::A).flops_per_point);
+    }
+}

@@ -1,0 +1,253 @@
+//! M-task graph emitter for multi-zone benchmarks.
+//!
+//! One time step is a layer of `z` independent zone tasks; between steps,
+//! neighbouring zones exchange boundary values (block-pattern edges whose
+//! cost vanishes when both zones stay on the same group — which is why the
+//! assignment of neighbouring zones to the same group matters, §4.6).
+
+use crate::classes::MultiZone;
+use pt_mtask::{CollectiveKind, CommOp, EdgeData, MTask, RedistPattern, TaskGraph, TaskId};
+
+impl MultiZone {
+    /// The M-task of one zone for one time step.
+    fn zone_task(&self, zone: usize, step: usize) -> MTask {
+        let z = &self.zones[zone];
+        // Intra-zone communication: the MPI implementation of a zone solver
+        // exchanges plane boundaries between the cores of its group during
+        // the ADI-like sweeps (~15 per step).
+        let plane_bytes = (z.nx * z.ny * 5 * 8) as f64;
+        MTask::with_comm(
+            format!("zone{zone}@s{step}"),
+            z.points() as f64 * self.flops_per_point,
+            vec![CommOp::new(CollectiveKind::NeighborExchange, plane_bytes, 15.0)],
+        )
+    }
+
+    /// Task graph of `steps` time steps: `steps` layers of `z` zone tasks
+    /// with border-exchange edges between consecutive steps.
+    pub fn step_graph(&self, steps: usize) -> TaskGraph {
+        assert!(steps >= 1);
+        let z = self.zones.len();
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<TaskId> = Vec::new();
+        for s in 0..steps {
+            let cur: Vec<TaskId> = (0..z).map(|id| g.add_task(self.zone_task(id, s))).collect();
+            if s > 0 {
+                for id in 0..z {
+                    // A zone depends on its own previous step…
+                    g.add_edge(
+                        prev[id],
+                        cur[id],
+                        EdgeData {
+                            bytes: 0.0,
+                            pattern: RedistPattern::None,
+                        },
+                    );
+                    // …and on the borders of its previous-step neighbours.
+                    // Border data moves between the corresponding cores of
+                    // the zones' groups — the orthogonal pattern, which is
+                    // why the scattered mapping wins for the multi-zone
+                    // benchmarks (paper §4.6).
+                    for nb in self.neighbors(id) {
+                        g.add_edge(
+                            prev[nb],
+                            cur[id],
+                            EdgeData {
+                                bytes: self.border_bytes(nb, id),
+                                pattern: RedistPattern::Orthogonal,
+                            },
+                        );
+                    }
+                }
+            }
+            prev = cur;
+        }
+        g.add_start_stop();
+        g
+    }
+
+    /// Sequential compute time of one step on a machine with the given
+    /// per-core speed (for speedup figures).
+    pub fn sequential_step_time(&self, core_flops: f64) -> f64 {
+        self.total_points() as f64 * self.flops_per_point / core_flops
+    }
+
+    /// Partition the zones into `g` *contiguous* (row-major) groups of
+    /// near-equal work — the assignment the paper uses for the multi-zone
+    /// benchmarks ("assigning 16 neighboring zones to each group", §4.6):
+    /// neighbouring zones share a group, so most border exchanges stay
+    /// group-internal.
+    pub fn blocked_assignment(&self, g: usize) -> Vec<Vec<usize>> {
+        let z = self.zones.len();
+        let g = g.clamp(1, z);
+        let total_work: f64 = self.zones.iter().map(|zn| zn.points() as f64).sum();
+        let target = total_work / g as f64;
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(g);
+        let mut cur = Vec::new();
+        let mut acc = 0.0;
+        for zone in &self.zones {
+            cur.push(zone.id);
+            acc += zone.points() as f64;
+            // Close the group once its work reaches the target, keeping
+            // enough zones for the remaining groups.
+            let remaining_groups = g - groups.len();
+            let remaining_zones = z - zone.id - 1;
+            if groups.len() + 1 < g
+                && (acc >= target || remaining_zones < (remaining_groups - 1).max(1))
+            {
+                groups.push(std::mem::take(&mut cur));
+                acc = 0.0;
+            }
+        }
+        groups.push(cur);
+        debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), z);
+        groups
+    }
+
+    /// The layered schedule of the paper's multi-zone experiments: per time
+    /// step one layer of `g` groups holding contiguous zone blocks, group
+    /// sizes adjusted to the blocks' work.
+    pub fn blocked_schedule(
+        &self,
+        steps: usize,
+        total_cores: usize,
+        g: usize,
+    ) -> pt_core::LayeredSchedule {
+        let z = self.zones.len();
+        let assignment = self.blocked_assignment(g);
+        let work: Vec<f64> = assignment
+            .iter()
+            .map(|zs| {
+                zs.iter()
+                    .map(|&id| self.zones[id].points() as f64)
+                    .sum::<f64>()
+            })
+            .collect();
+        let sizes = pt_core::adjust_group_sizes(&work, total_cores);
+        let layers = (0..steps)
+            .map(|s| pt_core::LayerSchedule {
+                group_sizes: sizes.clone(),
+                assignments: assignment
+                    .iter()
+                    .map(|zs| {
+                        zs.iter()
+                            .map(|&id| pt_mtask::TaskId(s * z + id))
+                            .collect()
+                    })
+                    .collect(),
+            })
+            .collect();
+        pt_core::LayeredSchedule {
+            total_cores,
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::classes::{bt_mz, sp_mz, Class};
+    use pt_mtask::layers;
+
+    #[test]
+    fn blocked_assignment_is_contiguous_and_covers() {
+        for mz in [sp_mz(Class::B), bt_mz(Class::B)] {
+            for g in [1usize, 4, 16, 64] {
+                let a = mz.blocked_assignment(g);
+                assert_eq!(a.len(), g.min(mz.zones.len()));
+                let mut all: Vec<usize> = a.iter().flatten().copied().collect();
+                assert_eq!(all.len(), mz.zones.len());
+                // Contiguity: flattened ids are 0..z in order.
+                let expect: Vec<usize> = (0..mz.zones.len()).collect();
+                all.sort_unstable();
+                assert_eq!(all, expect);
+                for zs in &a {
+                    for w in zs.windows(2) {
+                        assert_eq!(w[1], w[0] + 1, "group must be contiguous");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_assignment_balances_bt_work() {
+        let mz = bt_mz(Class::C);
+        let a = mz.blocked_assignment(32);
+        let works: Vec<f64> = a
+            .iter()
+            .map(|zs| zs.iter().map(|&z| mz.zones[z].points() as f64).sum())
+            .collect();
+        let max = works.iter().copied().fold(0.0, f64::max);
+        let min = works.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 3.0,
+            "blocked BT groups should be roughly balanced: {}",
+            max / min
+        );
+    }
+
+    #[test]
+    fn blocked_schedule_is_valid() {
+        let mz = sp_mz(Class::A);
+        let sched = mz.blocked_schedule(2, 64, 4);
+        assert!(sched.validate().is_ok());
+        assert_eq!(sched.layers.len(), 2);
+        assert_eq!(sched.layers[0].num_groups(), 4);
+    }
+
+    #[test]
+    fn one_step_is_one_layer_of_independent_tasks() {
+        let mz = sp_mz(Class::A);
+        let g = mz.step_graph(1);
+        let ls = layers(&g);
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].len(), 16);
+    }
+
+    #[test]
+    fn multi_step_layers_chain() {
+        let mz = sp_mz(Class::A);
+        let g = mz.step_graph(3);
+        let ls = layers(&g);
+        assert_eq!(ls.len(), 3);
+        // 16 zones + border edges: each zone depends on itself + 4
+        // neighbours.
+        assert_eq!(g.len(), 3 * 16 + 2);
+    }
+
+    #[test]
+    fn border_edges_carry_orthogonal_pattern() {
+        let mz = sp_mz(Class::A);
+        let g = mz.step_graph(2);
+        let mut border_edges = 0;
+        for (_, _, data) in g.edges() {
+            if data.pattern == pt_mtask::RedistPattern::Orthogonal {
+                assert!(data.bytes > 0.0);
+                border_edges += 1;
+            }
+        }
+        assert_eq!(border_edges, 16 * 4);
+    }
+
+    #[test]
+    fn bt_tasks_have_unequal_work() {
+        let mz = bt_mz(Class::A);
+        let g = mz.step_graph(1);
+        let works: Vec<f64> = g
+            .task_ids()
+            .filter(|t| !g.task(*t).is_structural())
+            .map(|t| g.task(t).work)
+            .collect();
+        let max = works.iter().copied().fold(0.0, f64::max);
+        let min = works.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 8.0, "BT-MZ work ratio {}", max / min);
+    }
+
+    #[test]
+    fn sequential_time_scales_with_points() {
+        let a = sp_mz(Class::A).sequential_step_time(1e9);
+        let b = sp_mz(Class::B).sequential_step_time(1e9);
+        assert!(b > 3.0 * a);
+    }
+}

@@ -1,0 +1,22 @@
+//! NAS multi-zone benchmark workloads (SP-MZ, BT-MZ) as M-task programs
+//! (paper §4.6).
+//!
+//! The NPB multi-zone benchmarks solve discretised Navier–Stokes equations
+//! on a set of *zones*: within a time step every zone is computed
+//! independently (one M-task per zone); at the end of a step overlapping
+//! zones exchange boundary values.  SP-MZ uses equally sized zones; BT-MZ
+//! sizes follow a geometric progression (largest/smallest ≈ 20), which
+//! turns zone→group assignment into a load-balancing problem — the effect
+//! visible in the paper's Fig. 17.
+//!
+//! This crate provides the class definitions (zone counts and aggregate
+//! grids of NPB-MZ classes A–D), the zone generators, the M-task graph
+//! emitter feeding the scheduler/simulator pipeline, and a real Jacobi
+//! stencil kernel for in-process execution on the thread runtime.
+
+pub mod classes;
+pub mod graph;
+pub mod kernel;
+
+pub use classes::{bt_mz, sp_mz, Class, MultiZone, Zone};
+pub use kernel::ZoneGrid;

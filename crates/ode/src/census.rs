@@ -1,0 +1,245 @@
+//! Communication census — the paper's **Table 1**: types and amounts of
+//! collective communication operations executed for one time step of the
+//! ODE solvers in the data-parallel (`dp`) and task-parallel (`tp`)
+//! program versions.
+//!
+//! The counts are analytic properties of the program versions (the paper
+//! presents them as closed formulas in `R`/`K`, the iteration counts `m`
+//! and `I`, and the system size `n`); for the task-parallel versions the
+//! operations of *one* of the disjoint groups are listed.
+
+use serde::{Deserialize, Serialize};
+
+/// Program version of a solver benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Version {
+    /// Data parallel: every M-task executes on all cores, one after
+    /// another.
+    DataParallel,
+    /// Task parallel: the schedule of §3.2 with disjoint core groups.
+    TaskParallel,
+}
+
+/// Collective-operation counts for one time step, split by scope
+/// (global / group-based / orthogonal) and operation (broadcast `Tbc` /
+/// multi-broadcast a.k.a. allgather `Tag`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CommCensus {
+    /// Global broadcasts.
+    pub global_tbc: f64,
+    /// Global allgathers.
+    pub global_tag: f64,
+    /// Group-based broadcasts.
+    pub group_tbc: f64,
+    /// Group-based allgathers.
+    pub group_tag: f64,
+    /// Orthogonal broadcasts.
+    pub orthogonal_tbc: f64,
+    /// Orthogonal allgathers.
+    pub orthogonal_tag: f64,
+}
+
+impl CommCensus {
+    /// Total operation count.
+    pub fn total(&self) -> f64 {
+        self.global_tbc
+            + self.global_tag
+            + self.group_tbc
+            + self.group_tag
+            + self.orthogonal_tbc
+            + self.orthogonal_tag
+    }
+}
+
+/// EPOL with `R` approximations.
+pub fn epol(version: Version, r: usize) -> CommCensus {
+    let r = r as f64;
+    match version {
+        Version::DataParallel => CommCensus {
+            global_tag: r * (r + 1.0) / 2.0,
+            ..Default::default()
+        },
+        Version::TaskParallel => CommCensus {
+            global_tbc: 1.0,
+            group_tag: r + 1.0,
+            ..Default::default()
+        },
+    }
+}
+
+/// IRK with `K` stage vectors and `m` fixed-point iterations.
+pub fn irk(version: Version, k: usize, m: usize) -> CommCensus {
+    let (k, m) = (k as f64, m as f64);
+    match version {
+        Version::DataParallel => CommCensus {
+            global_tag: k * m + 1.0,
+            ..Default::default()
+        },
+        Version::TaskParallel => CommCensus {
+            global_tag: 1.0,
+            group_tag: m,
+            orthogonal_tag: m,
+            ..Default::default()
+        },
+    }
+}
+
+/// DIIRK with `K` stage vectors, `m` sweeps, dynamic inner iteration count
+/// `i_dyn` (`1 ≤ I ≤ 3` in practice) and system size `n`.
+pub fn diirk(version: Version, k: usize, m: usize, i_dyn: f64, n: usize) -> CommCensus {
+    let (k, m, n) = (k as f64, m as f64, n as f64);
+    match version {
+        Version::DataParallel => CommCensus {
+            global_tag: 1.0,
+            global_tbc: k * (n - 1.0) * i_dyn,
+            ..Default::default()
+        },
+        Version::TaskParallel => CommCensus {
+            global_tag: 1.0,
+            group_tbc: (n - 1.0) * i_dyn,
+            orthogonal_tag: m,
+            ..Default::default()
+        },
+    }
+}
+
+/// PAB with `K` stage vectors.
+pub fn pab(version: Version, k: usize) -> CommCensus {
+    let k = k as f64;
+    match version {
+        Version::DataParallel => CommCensus {
+            global_tag: k,
+            ..Default::default()
+        },
+        Version::TaskParallel => CommCensus {
+            group_tag: 1.0,
+            orthogonal_tag: 1.0,
+            ..Default::default()
+        },
+    }
+}
+
+/// PABM with `K` stage vectors and `m` corrector iterations.
+pub fn pabm(version: Version, k: usize, m: usize) -> CommCensus {
+    let (k, m) = (k as f64, m as f64);
+    match version {
+        Version::DataParallel => CommCensus {
+            global_tag: k * (1.0 + m),
+            ..Default::default()
+        },
+        Version::TaskParallel => CommCensus {
+            group_tag: 1.0 + m,
+            orthogonal_tag: 1.0,
+            ..Default::default()
+        },
+    }
+}
+
+/// Render the full Table 1 as aligned text rows (the `table1` harness).
+pub fn table1(r: usize, k: usize, m: usize, i_dyn: f64, n: usize) -> String {
+    use std::fmt::Write as _;
+    let rows: Vec<(&str, CommCensus)> = vec![
+        ("EPOL(dp)", epol(Version::DataParallel, r)),
+        ("EPOL(tp)", epol(Version::TaskParallel, r)),
+        ("IRK(dp)", irk(Version::DataParallel, k, m)),
+        ("IRK(tp)", irk(Version::TaskParallel, k, m)),
+        ("DIIRK(dp)", diirk(Version::DataParallel, k, m, i_dyn, n)),
+        ("DIIRK(tp)", diirk(Version::TaskParallel, k, m, i_dyn, n)),
+        ("PAB(dp)", pab(Version::DataParallel, k)),
+        ("PAB(tp)", pab(Version::TaskParallel, k)),
+        ("PABM(dp)", pabm(Version::DataParallel, k, m)),
+        ("PABM(tp)", pabm(Version::TaskParallel, k, m)),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "glob.Tbc", "glob.Tag", "grp.Tbc", "grp.Tag", "orth.Tbc", "orth.Tag"
+    );
+    for (name, c) in rows {
+        let _ = writeln!(
+            out,
+            "{:<11} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            name,
+            c.global_tbc,
+            c.global_tag,
+            c.group_tbc,
+            c.group_tag,
+            c.orthogonal_tbc,
+            c.orthogonal_tag
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_epol_row() {
+        // EPOL(dp): R(R+1)/2 · Tag global; EPOL(tp): 1 · Tbc global,
+        // (R+1) · Tag group-based.
+        let dp = epol(Version::DataParallel, 8);
+        assert_eq!(dp.global_tag, 36.0);
+        assert_eq!(dp.total(), 36.0);
+        let tp = epol(Version::TaskParallel, 8);
+        assert_eq!(tp.global_tbc, 1.0);
+        assert_eq!(tp.group_tag, 9.0);
+        assert_eq!(tp.orthogonal_tag, 0.0);
+    }
+
+    #[test]
+    fn table1_irk_row() {
+        let dp = irk(Version::DataParallel, 4, 3);
+        assert_eq!(dp.global_tag, 13.0); // K·m + 1
+        let tp = irk(Version::TaskParallel, 4, 3);
+        assert_eq!(tp.global_tag, 1.0);
+        assert_eq!(tp.group_tag, 3.0);
+        assert_eq!(tp.orthogonal_tag, 3.0);
+    }
+
+    #[test]
+    fn table1_diirk_row() {
+        let n = 1000;
+        let dp = diirk(Version::DataParallel, 4, 2, 2.0, n);
+        assert_eq!(dp.global_tbc, 4.0 * 999.0 * 2.0);
+        assert_eq!(dp.global_tag, 1.0);
+        let tp = diirk(Version::TaskParallel, 4, 2, 2.0, n);
+        assert_eq!(tp.group_tbc, 999.0 * 2.0);
+        assert_eq!(tp.orthogonal_tag, 2.0);
+        assert_eq!(tp.global_tag, 1.0);
+    }
+
+    #[test]
+    fn table1_pab_pabm_rows() {
+        assert_eq!(pab(Version::DataParallel, 8).global_tag, 8.0);
+        let tp = pab(Version::TaskParallel, 8);
+        assert_eq!(tp.group_tag, 1.0);
+        assert_eq!(tp.orthogonal_tag, 1.0);
+
+        assert_eq!(pabm(Version::DataParallel, 8, 3).global_tag, 32.0);
+        let tp = pabm(Version::TaskParallel, 8, 3);
+        assert_eq!(tp.group_tag, 4.0);
+        assert_eq!(tp.orthogonal_tag, 1.0);
+    }
+
+    #[test]
+    fn tp_always_needs_fewer_global_ops() {
+        for (dp, tp) in [
+            (epol(Version::DataParallel, 8), epol(Version::TaskParallel, 8)),
+            (irk(Version::DataParallel, 4, 3), irk(Version::TaskParallel, 4, 3)),
+            (pabm(Version::DataParallel, 8, 2), pabm(Version::TaskParallel, 8, 2)),
+        ] {
+            assert!(tp.global_tag + tp.global_tbc < dp.global_tag + dp.global_tbc);
+        }
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows() {
+        let t = table1(8, 4, 3, 2.0, 1000);
+        for name in ["EPOL(dp)", "IRK(tp)", "DIIRK(dp)", "PAB(tp)", "PABM(dp)"] {
+            assert!(t.contains(name), "missing {name}:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! IRK — iterated Runge–Kutta (paper §4.2).
+//!
+//! The corrector is the `K`-stage Gauss collocation method; its implicit
+//! stage system is approximated by `m` fixed-point (Picard) iterations
+//!
+//! ```text
+//! Y_k^{(j)} = y + h Σ_l a_kl · F_l^{(j−1)},    F_k^{(j)} = f(t + c_k h, Y_k^{(j)})
+//! ```
+//!
+//! started from `F^{(0)} = f(t, y)`.  Within one iteration the `K` stage
+//! vectors are independent — the coarse-grained task parallelism the
+//! paper's schedules exploit; between iterations the stage results must be
+//! exchanged (orthogonal communication in the task-parallel layout).
+
+use crate::spmd_util::{block_counts, eval_distributed};
+use crate::system::OdeSystem;
+use crate::tableau::{gauss, Tableau};
+use pt_exec::{DataStore, GroupPlan, Program, TaskCtx, TaskFn};
+use pt_mtask::{CommOp, DataRef, MTask, Spec, TaskGraph};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The iterated Runge–Kutta solver.
+#[derive(Debug, Clone)]
+pub struct Irk {
+    /// Number of stage vectors `K`.
+    pub k: usize,
+    /// Fixed-point iterations `m`.
+    pub m: usize,
+    tableau: Tableau,
+}
+
+impl Irk {
+    /// IRK with `K` Gauss stages and `m` iterations.
+    pub fn new(k: usize, m: usize) -> Irk {
+        assert!(k >= 1 && m >= 1);
+        Irk {
+            k,
+            m,
+            tableau: gauss(k),
+        }
+    }
+
+    /// The underlying Gauss tableau.
+    pub fn tableau(&self) -> &Tableau {
+        &self.tableau
+    }
+
+    /// One time step.
+    pub fn step(&self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64) -> Vec<f64> {
+        let n = sys.dim();
+        let k = self.k;
+        let tb = &self.tableau;
+        let mut f0 = vec![0.0; n];
+        sys.eval(t, y, &mut f0);
+        let mut f: Vec<Vec<f64>> = vec![f0; k];
+        let mut y_stage = vec![0.0; n];
+        for _ in 0..self.m {
+            let f_prev = f.clone();
+            for (kk, fk) in f.iter_mut().enumerate() {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (l, fl) in f_prev.iter().enumerate() {
+                        acc += tb.a(kk, l) * fl[i];
+                    }
+                    y_stage[i] = y[i] + h * acc;
+                }
+                sys.eval(t + tb.c[kk] * h, &y_stage, fk);
+            }
+        }
+        (0..n)
+            .map(|i| {
+                let acc: f64 = (0..k).map(|l| tb.b[l] * f[l][i]).sum();
+                y[i] + h * acc
+            })
+            .collect()
+    }
+
+    /// Fixed-step integration.
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        h: f64,
+    ) -> Vec<f64> {
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        while t < t_end - 1e-14 {
+            let step = h.min(t_end - t);
+            y = self.step(sys, t, &y, step);
+            t += step;
+        }
+        y
+    }
+
+    /// M-task graph of `steps` unrolled time steps (task-parallel
+    /// structure: `m` iteration layers of `K` stage tasks, plus the initial
+    /// evaluation and the final update).
+    pub fn step_graph(&self, sys: &dyn OdeSystem, steps: usize) -> TaskGraph {
+        let n = sys.dim() as f64;
+        let vec_bytes = 8.0 * n;
+        let k = self.k;
+        let m = self.m;
+        let stage_work = n * sys.flops_per_component() + 2.0 * k as f64 * n;
+        let body = Spec::seq(vec![
+            Spec::task(MTask::with_comm(
+                "init_f",
+                n * sys.flops_per_component(),
+                vec![CommOp::allgather(vec_bytes, 1.0)],
+            ))
+            .uses(["eta"])
+            .defines([DataRef::replicated("F0", vec_bytes)]),
+            Spec::for_loop(1..=m, |j| {
+                Spec::parfor(1..=k, |kk| {
+                    let mut s = Spec::task(MTask::with_comm(
+                        format!("stage({kk},it{j})"),
+                        stage_work,
+                        vec![CommOp::allgather(vec_bytes, 1.0)],
+                    ))
+                    .uses(["eta"]);
+                    if j == 1 {
+                        s = s.uses(["F0"]);
+                    } else {
+                        s = s.uses((1..=k).map(|l| format!("F{l}")));
+                    }
+                    s.defines([DataRef::orthogonal(format!("F{kk}"), vec_bytes)])
+                })
+            }),
+            Spec::task(MTask::with_comm(
+                "update",
+                2.0 * k as f64 * n,
+                vec![CommOp::allgather(vec_bytes, 1.0)],
+            ))
+            .uses((1..=k).map(|l| format!("F{l}")))
+            .defines([DataRef::replicated("eta", vec_bytes)]),
+        ]);
+        Spec::for_loop(0..steps, |_| body.clone()).compile_flat()
+    }
+
+    /// SPMD program for one time step; `groups` carries the `K` stage
+    /// groups (or a single group for the data-parallel version).  The
+    /// store must hold `t`, `h`, `eta`.
+    pub fn build_program(&self, sys: &Arc<dyn OdeSystem>, groups: &[Range<usize>]) -> Program {
+        let n = sys.dim();
+        let k = self.k;
+        let all = groups.iter().map(|g| g.start).min().unwrap_or(0)
+            ..groups.iter().map(|g| g.end).max().unwrap_or(1);
+
+        let mut program = Program::default();
+        // Layer 0: initial evaluation F^{(0)} = f(t, y), published for all
+        // stages (buffer parity 0).
+        {
+            let sys = sys.clone();
+            let kk = k;
+            let init: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+                let t = ctx.store.get("t").expect("t")[0];
+                let eta = ctx.store.get("eta").expect("eta");
+                let f0 = eval_distributed(ctx, sys.as_ref(), t, &eta);
+                if ctx.rank == 0 {
+                    for l in 1..=kk {
+                        ctx.store.put(format!("F{l}_0"), f0.clone());
+                    }
+                }
+            });
+            program.push_layer(vec![GroupPlan::new(all.clone(), vec![init])]);
+        }
+
+        // Iteration layers with parity double-buffering: iteration j reads
+        // buffer (j−1)%2 and writes buffer j%2, so concurrent groups never
+        // race on the store.
+        for j in 1..=self.m {
+            let read = (j - 1) % 2;
+            let write = j % 2;
+            let mut layer = Vec::new();
+            for (gi, range) in groups.iter().enumerate() {
+                let stages: Vec<usize> = (1..=k).filter(|s| (s - 1) % groups.len() == gi).collect();
+                let sys = sys.clone();
+                let tb = self.tableau.clone();
+                let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+                    let t = ctx.store.get("t").expect("t")[0];
+                    let h = ctx.store.get("h").expect("h")[0];
+                    let eta = ctx.store.get("eta").expect("eta");
+                    let f_prev: Vec<Vec<f64>> = (1..=tb.s)
+                        .map(|l| ctx.store.get(&format!("F{l}_{read}")).expect("F prev"))
+                        .collect();
+                    for &stage in &stages {
+                        let kk = stage - 1;
+                        let n = sys.dim();
+                        let mut y_stage = vec![0.0; n];
+                        for i in 0..n {
+                            let mut acc = 0.0;
+                            for (l, fl) in f_prev.iter().enumerate() {
+                                acc += tb.a(kk, l) * fl[i];
+                            }
+                            y_stage[i] = eta[i] + h * acc;
+                        }
+                        let fk =
+                            eval_distributed(ctx, sys.as_ref(), t + tb.c[kk] * h, &y_stage);
+                        if ctx.rank == 0 {
+                            ctx.store.put(format!("F{stage}_{write}"), fk);
+                        }
+                    }
+                });
+                layer.push(GroupPlan::new(range.clone(), vec![task]));
+            }
+            program.push_layer(layer);
+        }
+
+        // Final update on all workers.
+        let read = self.m % 2;
+        let sys2 = sys.clone();
+        let tb = self.tableau.clone();
+        let update: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+            let t = ctx.store.get("t").expect("t")[0];
+            let h = ctx.store.get("h").expect("h")[0];
+            let eta = ctx.store.get("eta").expect("eta");
+            let f: Vec<Vec<f64>> = (1..=tb.s)
+                .map(|l| ctx.store.get(&format!("F{l}_{read}")).expect("F"))
+                .collect();
+            let range = ctx.block_range(sys2.dim());
+            let local: Vec<f64> = range
+                .clone()
+                .map(|i| {
+                    let acc: f64 = (0..tb.s).map(|l| tb.b[l] * f[l][i]).sum();
+                    eta[i] + h * acc
+                })
+                .collect();
+            let counts = block_counts(sys2.dim(), ctx.size);
+            let mut full = vec![0.0; sys2.dim()];
+            ctx.comm.allgatherv(ctx.rank, &local, &counts, &mut full);
+            if ctx.rank == 0 {
+                ctx.store.put("eta", full);
+                ctx.store.put("t", vec![t + h]);
+            }
+        });
+        program.push_layer(vec![GroupPlan::new(all, vec![update])]);
+        debug_assert!(n > 0);
+        program
+    }
+
+    /// Run `steps` time steps of the SPMD program.
+    pub fn run_spmd(
+        &self,
+        team: &pt_exec::Team,
+        sys: &Arc<dyn OdeSystem>,
+        groups: &[Range<usize>],
+        store: &Arc<DataStore>,
+        steps: usize,
+    ) {
+        let program = self.build_program(sys, groups);
+        for _ in 0..steps {
+            team.run(&program, store);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // worker-group layouts
+mod tests {
+    use super::*;
+    use crate::system::{max_err, LinearTest};
+    use crate::Bruss2d;
+    use pt_exec::Team;
+
+    #[test]
+    fn converges_to_gauss_solution_for_linear_problem() {
+        // With enough iterations the fixed point is the exact Gauss step:
+        // for y' = λy, K = 2 (order 4), error ~ h⁵ per step.
+        let sys = LinearTest::scalar(-1.0);
+        let irk = Irk::new(2, 20);
+        let y = irk.step(&sys, 0.0, &[1.0], 0.1);
+        let exact = sys.exact(&[1.0], 0.1);
+        assert!(max_err(&y, &exact) < 1e-7, "err {}", max_err(&y, &exact));
+    }
+
+    #[test]
+    fn accuracy_improves_with_iterations() {
+        let sys = LinearTest::scalar(-2.0);
+        let exact = sys.exact(&[1.0], 0.1);
+        let mut prev = f64::INFINITY;
+        for m in [1usize, 2, 4, 8] {
+            let irk = Irk::new(3, m);
+            let err = max_err(&irk.step(&sys, 0.0, &[1.0], 0.1), &exact);
+            assert!(err <= prev * 1.001, "m={m}: {err} vs {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn integration_is_high_order() {
+        let sys = LinearTest::scalar(1.0);
+        let exact = sys.exact(&[1.0], 1.0);
+        let irk = Irk::new(2, 6);
+        let e1 = max_err(&irk.integrate(&sys, 0.0, &[1.0], 1.0, 0.1), &exact);
+        let e2 = max_err(&irk.integrate(&sys, 0.0, &[1.0], 1.0, 0.05), &exact);
+        let order = (e1 / e2).log2();
+        assert!(order > 3.0, "observed order {order}");
+    }
+
+    #[test]
+    fn step_graph_shape() {
+        let sys = LinearTest::diagonal(50, -1.0, 0.0);
+        let irk = Irk::new(4, 3);
+        let g = irk.step_graph(&sys, 1);
+        // init + 3×4 stages + update + start/stop.
+        assert_eq!(g.len(), 1 + 12 + 1 + 2);
+        let layers = pt_mtask::layers(&g);
+        assert_eq!(layers.len(), 5); // init | it1 | it2 | it3 | update
+        assert_eq!(layers[1].len(), 4);
+    }
+
+    #[test]
+    fn stage_layers_are_independent() {
+        let sys = LinearTest::diagonal(50, -1.0, 0.0);
+        let irk = Irk::new(3, 2);
+        let g = irk.step_graph(&sys, 1);
+        let layers = pt_mtask::layers(&g);
+        for &a in &layers[1] {
+            for &b in &layers[1] {
+                if a != b {
+                    assert!(g.independent(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmd_matches_sequential() {
+        let sys_c = Bruss2d::new(4);
+        let y0 = sys_c.initial_value();
+        let irk = Irk::new(4, 3);
+        let h = 1e-3;
+        let mut seq = y0.clone();
+        let mut t = 0.0;
+        for _ in 0..2 {
+            seq = irk.step(&sys_c, t, &seq, h);
+            t += h;
+        }
+        let sys: Arc<dyn OdeSystem> = Arc::new(sys_c);
+        let team = Team::new(4);
+        let store = DataStore::new();
+        store.put("t", vec![0.0]);
+        store.put("h", vec![h]);
+        store.put("eta", y0);
+        irk.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 2);
+        let eta = store.get("eta").unwrap();
+        assert!(max_err(&eta, &seq) < 1e-12, "err {}", max_err(&eta, &seq));
+    }
+
+    #[test]
+    fn spmd_data_parallel_matches() {
+        let sys_c = LinearTest::diagonal(23, -1.0, -0.2);
+        let y0 = sys_c.initial_value();
+        let irk = Irk::new(2, 4);
+        let h = 0.01;
+        let seq = irk.step(&sys_c, 0.0, &y0, h);
+        let sys: Arc<dyn OdeSystem> = Arc::new(sys_c);
+        let team = Team::new(3);
+        let store = DataStore::new();
+        store.put("t", vec![0.0]);
+        store.put("h", vec![h]);
+        store.put("eta", y0);
+        irk.run_spmd(&team, &sys, &[0..3], &store, 1);
+        assert!(max_err(&store.get("eta").unwrap(), &seq) < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Parallel one-step ODE solvers — the application workloads of the
+//! paper's evaluation (§2.2.3, §4.2).
+//!
+//! Initial value problems `y'(t) = f(t, y(t)), y(t0) = y0` are solved by
+//! time-stepping methods whose per-step structure exposes coarse-grained
+//! task parallelism between stage-vector computations:
+//!
+//! * [`Epol`] — explicit **extrapolation** method: `R` approximations with
+//!   different micro-step counts, combined by Aitken–Neville extrapolation
+//!   (the running example of the paper, Fig. 3–6),
+//! * [`Irk`] — **iterated Runge–Kutta**: `K` implicit (Gauss) stage vectors
+//!   computed by `m` fixed-point iterations,
+//! * [`Diirk`] — **diagonal-implicitly iterated RK**: per-stage implicit
+//!   systems, `I` dynamically determined corrector iterations,
+//! * [`Pab`] / [`Pabm`] — **parallel Adams–Bashforth(–Moulton)** block
+//!   methods: `K` independent block points per step (± `m` Moulton
+//!   corrections).
+//!
+//! Every solver provides (a) a sequential reference implementation,
+//! (b) an SPMD implementation for the [`pt_exec`] thread runtime, and
+//! (c) an M-task graph emitter whose output feeds the scheduler/simulator
+//! pipeline; [`census`] derives the collective-operation counts of the
+//! paper's Table 1.
+//!
+//! Two ODE systems from the paper are included: the sparse [`Bruss2d`]
+//! (spatial discretisation of the 2D Brusselator, linear evaluation cost)
+//! and the dense [`Schroed`] (a Galerkin-style system with quadratic
+//! evaluation cost).
+
+pub mod bruss2d;
+pub mod census;
+pub mod diirk;
+pub mod epol;
+pub mod irk;
+pub mod linalg;
+pub mod pab;
+pub mod pabm;
+pub mod reference;
+pub mod schroed;
+pub mod system;
+pub mod tableau;
+
+pub use bruss2d::Bruss2d;
+pub use census::{CommCensus, Version};
+pub use diirk::Diirk;
+pub use epol::Epol;
+pub use irk::Irk;
+pub use pab::Pab;
+pub use pabm::Pabm;
+pub use schroed::Schroed;
+pub use system::{max_err, LinearTest, OdeSystem};
+pub mod spmd_util;

@@ -1,0 +1,217 @@
+//! Small dense linear algebra used to derive method coefficients
+//! (Gauss tableaus, Adams block weights): LU solve, Legendre roots, and
+//! integrals of Lagrange basis polynomials.
+
+/// Solve the dense system `A·x = b` in place via LU decomposition with
+/// partial pivoting.  `a` is row-major `n×n`.
+///
+/// # Panics
+/// Panics if the matrix is numerically singular.
+pub fn lu_solve(a: &mut [f64], b: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for row in col + 1..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                piv = row;
+            }
+        }
+        assert!(best > 1e-300, "singular matrix at column {col}");
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            b.swap(col, piv);
+        }
+        // Eliminate.
+        let d = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in col + 1..n {
+            s -= a[col * n + k] * b[k];
+        }
+        b[col] = s / a[col * n + col];
+    }
+}
+
+/// Roots of the Legendre polynomial `P_s` on `[-1, 1]`, by Newton iteration
+/// from the Chebyshev initial guesses; returned in ascending order.
+pub fn legendre_roots(s: usize) -> Vec<f64> {
+    assert!(s >= 1);
+    let mut roots = Vec::with_capacity(s);
+    for i in 1..=s {
+        // Initial guess (descending), refined by Newton on P_s.
+        let mut x = (std::f64::consts::PI * (i as f64 - 0.25) / (s as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            let (p, dp) = legendre_eval(s, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        roots.push(x);
+    }
+    roots.sort_by(f64::total_cmp);
+    roots
+}
+
+/// Evaluate `P_s(x)` and its derivative by the three-term recurrence.
+fn legendre_eval(s: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = x;
+    if s == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=s {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    let dp = s as f64 * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+/// Monomial coefficients of the Lagrange basis polynomials through `nodes`:
+/// `coeffs[j][k]` is the coefficient of `x^k` in `L_j`.
+pub fn lagrange_monomials(nodes: &[f64]) -> Vec<Vec<f64>> {
+    let s = nodes.len();
+    // Solve the transposed Vandermonde system per basis polynomial:
+    // L_j(nodes[i]) = δ_ij.
+    let mut out = Vec::with_capacity(s);
+    for j in 0..s {
+        let mut a: Vec<f64> = (0..s * s)
+            .map(|idx| {
+                let (row, col) = (idx / s, idx % s);
+                nodes[row].powi(col as i32)
+            })
+            .collect();
+        let mut rhs = vec![0.0; s];
+        rhs[j] = 1.0;
+        lu_solve(&mut a, &mut rhs, s);
+        out.push(rhs);
+    }
+    out
+}
+
+/// `∫_0^{upper} L_j(τ) dτ` for each Lagrange basis polynomial through
+/// `nodes`.
+pub fn lagrange_integrals(nodes: &[f64], upper: f64) -> Vec<f64> {
+    lagrange_monomials(nodes)
+        .iter()
+        .map(|coeffs| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * upper.powi(k as i32 + 1) / (k as f64 + 1.0))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        lu_solve(&mut a, &mut b, 2);
+        assert_eq!(b, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        lu_solve(&mut a, &mut b, 2);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_pivots_zero_diagonal() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        lu_solve(&mut a, &mut b, 2);
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn lu_rejects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        lu_solve(&mut a, &mut b, 2);
+    }
+
+    #[test]
+    fn legendre_roots_known_values() {
+        // P_2 roots: ±1/√3.
+        let r = legendre_roots(2);
+        assert!((r[0] + 1.0 / 3f64.sqrt()).abs() < 1e-12);
+        assert!((r[1] - 1.0 / 3f64.sqrt()).abs() < 1e-12);
+        // P_3 roots: 0, ±√(3/5).
+        let r = legendre_roots(3);
+        assert!(r[1].abs() < 1e-12);
+        assert!((r[2] - (0.6f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legendre_roots_are_roots() {
+        for s in 1..=8 {
+            for &x in &legendre_roots(s) {
+                let (p, _) = legendre_eval(s, x);
+                assert!(p.abs() < 1e-10, "P_{s}({x}) = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_basis_is_cardinal() {
+        let nodes = [0.1, 0.4, 0.75, 0.9];
+        let coeffs = lagrange_monomials(&nodes);
+        for (j, c) in coeffs.iter().enumerate() {
+            for (i, &x) in nodes.iter().enumerate() {
+                let v: f64 = c
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &ck)| ck * x.powi(k as i32))
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-9, "L_{j}({x}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_integrals_reproduce_polynomial_quadrature() {
+        // Integrating the interpolant of x² through 3 nodes over [0,1]
+        // must give exactly 1/3.
+        let nodes = [0.0, 0.5, 1.0];
+        let w = lagrange_integrals(&nodes, 1.0);
+        let integral: f64 = nodes.iter().zip(&w).map(|(&x, &wi)| wi * x * x).sum();
+        assert!((integral - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,462 @@
+//! PAB — parallel Adams–Bashforth block method (paper §4.2).
+//!
+//! One macro step of size `H` advances a *block* of `K` solution points
+//! `t_n + c_i·H`, `c_i = i/K`: each point integrates the Lagrange
+//! interpolant of the right-hand-side values of the **previous** block,
+//!
+//! ```text
+//! Y_i = y_n + H Σ_j w_pred[i][j] · F_j^{prev}
+//! ```
+//!
+//! The `K` block-point computations are completely independent — one
+//! M-task each — and exchange their results once per step (the orthogonal
+//! communication of Table 1).
+
+use crate::spmd_util::eval_distributed;
+use crate::system::OdeSystem;
+use crate::tableau::AdamsBlock;
+use pt_exec::{DataStore, GroupPlan, Program, TaskCtx, TaskFn};
+use pt_mtask::{CommOp, DataRef, MTask, Spec, TaskGraph};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Running state of a block method: the base point and the previous
+/// block's derivative values.
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    /// Time of the base point `t_n`.
+    pub t: f64,
+    /// Macro step size `H`.
+    pub h: f64,
+    /// Solution at the base point.
+    pub y: Vec<f64>,
+    /// `F_j = f(t_n + (c_j − 1)·H, ·)` of the previous block, `j = 1..K`.
+    pub f_prev: Vec<Vec<f64>>,
+}
+
+/// Initialise the block state by integrating the first block with RK4
+/// (standard startup for multistep methods).
+pub fn startup(sys: &dyn OdeSystem, t0: f64, y0: &[f64], h: f64, k: usize) -> BlockState {
+    let block = AdamsBlock::new(k);
+    let n = sys.dim();
+    let mut f_prev = Vec::with_capacity(k);
+    let mut y_base = y0.to_vec();
+    for (j, &cj) in block.c.iter().enumerate() {
+        let tj = t0 + cj * h;
+        let yj = crate::reference::rk4_integrate(sys, t0, y0, tj, h / (8.0 * k as f64));
+        let mut f = vec![0.0; n];
+        sys.eval(tj, &yj, &mut f);
+        f_prev.push(f);
+        if j == k - 1 {
+            y_base = yj;
+        }
+    }
+    BlockState {
+        t: t0 + h,
+        h,
+        y: y_base,
+        f_prev,
+    }
+}
+
+/// The PAB solver.
+#[derive(Debug, Clone)]
+pub struct Pab {
+    /// Block size `K`.
+    pub k: usize,
+    block: AdamsBlock,
+}
+
+impl Pab {
+    /// PAB with block size `K`.
+    pub fn new(k: usize) -> Pab {
+        Pab {
+            k,
+            block: AdamsBlock::new(k),
+        }
+    }
+
+    /// The block coefficients.
+    pub fn coefficients(&self) -> &AdamsBlock {
+        &self.block
+    }
+
+    /// Advance the state by one macro step.
+    pub fn step(&self, sys: &dyn OdeSystem, state: &BlockState) -> BlockState {
+        let n = sys.dim();
+        let k = self.k;
+        let mut f_new = Vec::with_capacity(k);
+        let mut y_last = state.y.clone();
+        for i in 0..k {
+            let yi: Vec<f64> = (0..n)
+                .map(|idx| {
+                    let acc: f64 = (0..k)
+                        .map(|j| self.block.w_pred[i][j] * state.f_prev[j][idx])
+                        .sum();
+                    state.y[idx] + state.h * acc
+                })
+                .collect();
+            let ti = state.t + self.block.c[i] * state.h;
+            let mut f = vec![0.0; n];
+            sys.eval(ti, &yi, &mut f);
+            f_new.push(f);
+            if i == k - 1 {
+                y_last = yi;
+            }
+        }
+        BlockState {
+            t: state.t + state.h,
+            h: state.h,
+            y: y_last,
+            f_prev: f_new,
+        }
+    }
+
+    /// Integrate from `t0` to approximately `t_end` (whole macro steps,
+    /// including the RK4 startup block); returns `y` at the final block
+    /// base point.
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        h: f64,
+    ) -> (f64, Vec<f64>) {
+        let mut state = startup(sys, t0, y0, h, self.k);
+        while state.t + h <= t_end + 1e-12 {
+            state = self.step(sys, &state);
+        }
+        (state.t, state.y)
+    }
+
+    /// M-task graph of `steps` unrolled macro steps: one layer of `K`
+    /// independent block-point tasks per step, orthogonal exchange between
+    /// steps.
+    pub fn step_graph(&self, sys: &dyn OdeSystem, steps: usize) -> TaskGraph {
+        step_graph_impl(sys, self.k, 0, steps)
+    }
+
+    /// SPMD program for one macro step.  Store keys: `t`, `h`, `y_base`,
+    /// `Fprev{j}` (`j = 1..K`); the program replaces them in place.
+    pub fn build_program(&self, sys: &Arc<dyn OdeSystem>, groups: &[Range<usize>]) -> Program {
+        build_block_program(sys, &self.block, 0, groups)
+    }
+
+    /// Run `steps` macro steps of the SPMD program.
+    pub fn run_spmd(
+        &self,
+        team: &pt_exec::Team,
+        sys: &Arc<dyn OdeSystem>,
+        groups: &[Range<usize>],
+        store: &Arc<DataStore>,
+        steps: usize,
+    ) {
+        let program = self.build_program(sys, groups);
+        for _ in 0..steps {
+            team.run(&program, store);
+        }
+    }
+}
+
+/// Seed the SPMD store from a [`BlockState`].
+pub fn state_to_store(state: &BlockState, store: &DataStore) {
+    store.put("t", vec![state.t]);
+    store.put("h", vec![state.h]);
+    store.put("y_base", state.y.clone());
+    for (j, f) in state.f_prev.iter().enumerate() {
+        store.put(format!("Fprev{}", j + 1), f.clone());
+    }
+}
+
+/// Read the SPMD store back into a [`BlockState`].
+pub fn store_to_state(store: &DataStore, k: usize) -> BlockState {
+    BlockState {
+        t: store.get("t").expect("t")[0],
+        h: store.get("h").expect("h")[0],
+        y: store.get("y_base").expect("y_base"),
+        f_prev: (1..=k)
+            .map(|j| store.get(&format!("Fprev{j}")).expect("Fprev"))
+            .collect(),
+    }
+}
+
+/// Shared graph emitter for PAB (`correctors = 0`) and PABM
+/// (`correctors = m`).
+pub(crate) fn step_graph_impl(
+    sys: &dyn OdeSystem,
+    k: usize,
+    correctors: usize,
+    steps: usize,
+) -> TaskGraph {
+    let n = sys.dim() as f64;
+    let vec_bytes = 8.0 * n;
+    let point_work = n * sys.flops_per_component() + 2.0 * k as f64 * n;
+    // One step: a predictor layer of K independent block-point tasks,
+    // optionally m Moulton corrector sweeps.  The derivative blocks (and
+    // the new base value, carried by point K) flow to the next step
+    // through the aggregated orthogonal exchange — no global operation,
+    // matching Table 1 (group: (1+m)·Tag, orthogonal: 1·Tag per step).
+    let body = |step: usize| {
+        Spec::seq(vec![
+            // Predictor layer: K independent block points.
+            Spec::parfor(1..=k, |i| {
+                let mut s = Spec::task(MTask::with_comm(
+                    format!("predict({i})@s{step}"),
+                    point_work,
+                    vec![CommOp::allgather(vec_bytes, 1.0)],
+                ))
+                .uses((1..=k).map(|j| format!("Fprev{j}")))
+                .uses(["y_base"]);
+                if correctors == 0 {
+                    s = s.defines([DataRef::orthogonal(format!("Fprev{i}"), vec_bytes)]);
+                    if i == k {
+                        s = s.defines([DataRef::orthogonal("y_base", vec_bytes)]);
+                    }
+                } else {
+                    s = s.defines([DataRef::orthogonal(format!("Fcur{i}"), vec_bytes)]);
+                }
+                s
+            }),
+            // Optional Moulton corrector sweeps (group-local per point
+            // after one orthogonal exchange).
+            Spec::for_loop(1..=correctors, |c| {
+                Spec::parfor(1..=k, |i| {
+                    let mut s = Spec::task(MTask::with_comm(
+                        format!("correct({i},sweep{c})@s{step}"),
+                        point_work,
+                        vec![CommOp::allgather(vec_bytes, 1.0)],
+                    ));
+                    if c == 1 {
+                        s = s.uses((1..=k).map(|j| format!("Fcur{j}")));
+                    } else {
+                        s = s.uses([format!("Fprev{i}")]);
+                    }
+                    s = s.defines([DataRef::orthogonal(format!("Fprev{i}"), vec_bytes)]);
+                    if c == correctors && i == k {
+                        s = s.defines([DataRef::orthogonal("y_base", vec_bytes)]);
+                    }
+                    s
+                })
+            }),
+        ])
+    };
+    Spec::for_loop(0..steps, body).compile_flat()
+}
+
+/// Shared SPMD builder for PAB (`correctors = 0`) and PABM.
+pub(crate) fn build_block_program(
+    sys: &Arc<dyn OdeSystem>,
+    block: &AdamsBlock,
+    correctors: usize,
+    groups: &[Range<usize>],
+) -> Program {
+    let k = block.k;
+    let n = sys.dim();
+    let all = groups.iter().map(|g| g.start).min().unwrap_or(0)
+        ..groups.iter().map(|g| g.end).max().unwrap_or(1);
+    let mut program = Program::default();
+
+    // Predictor layer.
+    let mut layer = Vec::new();
+    for (gi, range) in groups.iter().enumerate() {
+        let points: Vec<usize> = (1..=k).filter(|p| (p - 1) % groups.len() == gi).collect();
+        let sys = sys.clone();
+        let block = block.clone();
+        let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+            let t = ctx.store.get("t").expect("t")[0];
+            let h = ctx.store.get("h").expect("h")[0];
+            let y = ctx.store.get("y_base").expect("y_base");
+            let f_prev: Vec<Vec<f64>> = (1..=block.k)
+                .map(|j| ctx.store.get(&format!("Fprev{j}")).expect("Fprev"))
+                .collect();
+            let n = sys.dim();
+            for &p in &points {
+                let i = p - 1;
+                let yi: Vec<f64> = (0..n)
+                    .map(|idx| {
+                        let acc: f64 = (0..block.k)
+                            .map(|j| block.w_pred[i][j] * f_prev[j][idx])
+                            .sum();
+                        y[idx] + h * acc
+                    })
+                    .collect();
+                let ti = t + block.c[i] * h;
+                let f = eval_distributed(ctx, sys.as_ref(), ti, &yi);
+                if ctx.rank == 0 {
+                    ctx.store.put(format!("Fpred{p}"), f);
+                    ctx.store.put(format!("Y{p}"), yi);
+                }
+            }
+        });
+        layer.push(GroupPlan::new(range.clone(), vec![task]));
+    }
+    program.push_layer(layer);
+
+    // Corrector sweeps in one-block mode: cross-point values stay frozen
+    // at the predictor results (see `Pabm::step`), so a point's iterate
+    // `Fit{p}` is read and written by its own group only.
+    for c in 1..=correctors {
+        let mut layer = Vec::new();
+        for (gi, range) in groups.iter().enumerate() {
+            let points: Vec<usize> = (1..=k).filter(|p| (p - 1) % groups.len() == gi).collect();
+            let sys = sys.clone();
+            let block = block.clone();
+            let first_sweep = c == 1;
+            let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+                let t = ctx.store.get("t").expect("t")[0];
+                let h = ctx.store.get("h").expect("h")[0];
+                let y = ctx.store.get("y_base").expect("y_base");
+                let f_pred: Vec<Vec<f64>> = (1..=block.k)
+                    .map(|j| ctx.store.get(&format!("Fpred{j}")).expect("Fpred"))
+                    .collect();
+                let n = sys.dim();
+                for &p in &points {
+                    let i = p - 1;
+                    let f_own = if first_sweep {
+                        f_pred[i].clone()
+                    } else {
+                        ctx.store.get(&format!("Fit{p}")).expect("Fit")
+                    };
+                    let yi: Vec<f64> = (0..n)
+                        .map(|idx| {
+                            let acc: f64 = (0..block.k)
+                                .map(|j| {
+                                    let fj = if j == i { &f_own } else { &f_pred[j] };
+                                    block.w_corr[i][j] * fj[idx]
+                                })
+                                .sum();
+                            y[idx] + h * acc
+                        })
+                        .collect();
+                    let ti = t + block.c[i] * h;
+                    let f = eval_distributed(ctx, sys.as_ref(), ti, &yi);
+                    if ctx.rank == 0 {
+                        ctx.store.put(format!("Fit{p}"), f);
+                        ctx.store.put(format!("Y{p}"), yi);
+                    }
+                }
+            });
+            layer.push(GroupPlan::new(range.clone(), vec![task]));
+        }
+        program.push_layer(layer);
+    }
+
+    // Advance layer (pure bookkeeping; in the distributed execution this
+    // data movement rides on the orthogonal exchange).
+    let kk = k;
+    let from_it = correctors > 0;
+    let advance: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
+        if ctx.rank == 0 {
+            let t = ctx.store.get("t").expect("t")[0];
+            let h = ctx.store.get("h").expect("h")[0];
+            for p in 1..=kk {
+                let key = if from_it {
+                    format!("Fit{p}")
+                } else {
+                    format!("Fpred{p}")
+                };
+                let f = ctx.store.get(&key).expect("final F");
+                ctx.store.put(format!("Fprev{p}"), f);
+            }
+            let y_last = ctx.store.get(&format!("Y{kk}")).expect("Y_K");
+            ctx.store.put("y_base", y_last);
+            ctx.store.put("t", vec![t + h]);
+        }
+    });
+    program.push_layer(vec![GroupPlan::new(all, vec![advance])]);
+    debug_assert!(n > 0);
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{max_err, LinearTest};
+    use crate::Bruss2d;
+    use pt_exec::Team;
+
+    #[test]
+    fn startup_produces_consistent_state() {
+        let sys = LinearTest::scalar(-1.0);
+        let st = startup(&sys, 0.0, &[1.0], 0.1, 4);
+        assert_eq!(st.f_prev.len(), 4);
+        assert!((st.t - 0.1).abs() < 1e-15);
+        // y at base point ≈ exp(-0.1).
+        assert!((st.y[0] - (-0.1f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pab_tracks_exponential() {
+        let sys = LinearTest::scalar(-1.0);
+        let pab = Pab::new(4);
+        let (t, y) = pab.integrate(&sys, 0.0, &[1.0], 1.0, 0.05);
+        let exact = sys.exact(&[1.0], t);
+        assert!(max_err(&y, &exact) < 1e-6, "err {}", max_err(&y, &exact));
+    }
+
+    #[test]
+    fn pab_order_increases_with_k() {
+        let sys = LinearTest::scalar(1.0);
+        let mut prev = f64::INFINITY;
+        for k in [2usize, 4, 6] {
+            let pab = Pab::new(k);
+            let (t, y) = pab.integrate(&sys, 0.0, &[1.0], 1.0, 0.1);
+            let err = max_err(&y, &sys.exact(&[1.0], t));
+            assert!(err < prev, "K={k}: {err} should beat {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn pab_convergence_in_h() {
+        let sys = LinearTest::scalar(-0.5);
+        let pab = Pab::new(3);
+        let (t1, y1) = pab.integrate(&sys, 0.0, &[1.0], 1.0, 0.1);
+        let (t2, y2) = pab.integrate(&sys, 0.0, &[1.0], 1.0, 0.05);
+        let e1 = max_err(&y1, &sys.exact(&[1.0], t1));
+        let e2 = max_err(&y2, &sys.exact(&[1.0], t2));
+        assert!(e2 < e1 / 3.0, "halving H should cut the error: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn step_graph_layers() {
+        let sys = LinearTest::diagonal(64, -1.0, 0.0);
+        let pab = Pab::new(8);
+        let g = pab.step_graph(&sys, 2);
+        // Per step: 8 predictor tasks (no global advance op, Table 1);
+        // × 2 steps + start/stop.
+        assert_eq!(g.len(), 2 * 8 + 2);
+        let layers = pt_mtask::layers(&pt_mtask::ChainGraph::contract(&g).graph);
+        assert_eq!(layers.len(), 2); // one predictor layer per step
+        assert_eq!(layers[0].len(), 8);
+    }
+
+    #[test]
+    fn spmd_matches_sequential() {
+        let sys_c = Bruss2d::new(4);
+        let y0 = sys_c.initial_value();
+        let pab = Pab::new(4);
+        let h = 5e-4;
+        let st0 = startup(&sys_c, 0.0, &y0, h, 4);
+        let mut seq = st0.clone();
+        for _ in 0..3 {
+            seq = pab.step(&sys_c, &seq);
+        }
+        let sys: Arc<dyn OdeSystem> = Arc::new(sys_c);
+        let team = Team::new(4);
+        let store = DataStore::new();
+        state_to_store(&st0, &store);
+        pab.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 3);
+        let result = store_to_state(&store, 4);
+        assert!((result.t - seq.t).abs() < 1e-12);
+        assert!(
+            max_err(&result.y, &seq.y) < 1e-12,
+            "err {}",
+            max_err(&result.y, &seq.y)
+        );
+        for j in 0..4 {
+            assert!(max_err(&result.f_prev[j], &seq.f_prev[j]) < 1e-12);
+        }
+    }
+}

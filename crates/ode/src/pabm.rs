@@ -1,0 +1,228 @@
+//! PABM — parallel Adams–Bashforth–Moulton block method (paper §4.2).
+//!
+//! The PAB predictor ([`Pab`](crate::Pab)) is followed by `m` Moulton
+//! corrector sweeps: each sweep re-integrates the interpolant through the
+//! **current** block's derivative values,
+//!
+//! ```text
+//! Y_i^{(r+1)} = y_n + H Σ_j w_corr[i][j] · F(Y_j^{(r)})
+//! ```
+//!
+//! (a Jacobi-style fixed-point iteration towards the implicit block-Adams
+//! solution).  The `K` point updates of one sweep are independent M-tasks;
+//! after the single orthogonal exchange of the predictor results, the
+//! sweeps work group-locally — the `(1+m)` group-based allgathers and one
+//! orthogonal exchange per step of the paper's Table 1.
+
+use crate::pab::{build_block_program, startup, step_graph_impl, BlockState};
+use crate::system::OdeSystem;
+use crate::tableau::AdamsBlock;
+use pt_exec::{DataStore, Program};
+use pt_mtask::TaskGraph;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The PABM solver.
+#[derive(Debug, Clone)]
+pub struct Pabm {
+    /// Block size `K`.
+    pub k: usize,
+    /// Corrector sweeps `m`.
+    pub m: usize,
+    block: AdamsBlock,
+}
+
+impl Pabm {
+    /// PABM with block size `K` and `m` corrector sweeps.
+    pub fn new(k: usize, m: usize) -> Pabm {
+        assert!(k >= 1 && m >= 1);
+        Pabm {
+            k,
+            m,
+            block: AdamsBlock::new(k),
+        }
+    }
+
+    /// Advance the state by one macro step (predict + `m` corrections).
+    ///
+    /// The corrector iterates in *one-block mode*: the cross-point
+    /// derivative values stay frozen at the predictor results, so a point's
+    /// sweeps need no further data exchange — this is what limits the
+    /// task-parallel version to a single orthogonal exchange per step
+    /// (Table 1) while the `m` sweeps stay group-local.
+    #[allow(clippy::needless_range_loop)] // `i` is compared against `j` below
+    pub fn step(&self, sys: &dyn OdeSystem, state: &BlockState) -> BlockState {
+        let n = sys.dim();
+        let k = self.k;
+        // Predictor (PAB).
+        let mut f_pred: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for i in 0..k {
+            let yi: Vec<f64> = (0..n)
+                .map(|idx| {
+                    let acc: f64 = (0..k)
+                        .map(|j| self.block.w_pred[i][j] * state.f_prev[j][idx])
+                        .sum();
+                    state.y[idx] + state.h * acc
+                })
+                .collect();
+            let mut f = vec![0.0; n];
+            sys.eval(state.t + self.block.c[i] * state.h, &yi, &mut f);
+            f_pred.push(f);
+        }
+        // Corrector sweeps per point, cross-point values frozen.
+        let mut f_it = f_pred.clone();
+        let mut y_last = state.y.clone();
+        for i in 0..k {
+            let mut yi_last = Vec::new();
+            for _sweep in 0..self.m {
+                let yi: Vec<f64> = (0..n)
+                    .map(|idx| {
+                        let acc: f64 = (0..k)
+                            .map(|j| {
+                                let fj = if j == i { &f_it[i] } else { &f_pred[j] };
+                                self.block.w_corr[i][j] * fj[idx]
+                            })
+                            .sum();
+                        state.y[idx] + state.h * acc
+                    })
+                    .collect();
+                sys.eval(state.t + self.block.c[i] * state.h, &yi, &mut f_it[i]);
+                yi_last = yi;
+            }
+            if i == k - 1 {
+                y_last = yi_last;
+            }
+        }
+        BlockState {
+            t: state.t + state.h,
+            h: state.h,
+            y: y_last,
+            f_prev: f_it,
+        }
+    }
+
+    /// Integrate from `t0` to approximately `t_end` (whole macro steps).
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+        h: f64,
+    ) -> (f64, Vec<f64>) {
+        let mut state = startup(sys, t0, y0, h, self.k);
+        while state.t + h <= t_end + 1e-12 {
+            state = self.step(sys, &state);
+        }
+        (state.t, state.y)
+    }
+
+    /// M-task graph of `steps` unrolled macro steps (predictor layer +
+    /// `m` corrector layers per step).
+    pub fn step_graph(&self, sys: &dyn OdeSystem, steps: usize) -> TaskGraph {
+        step_graph_impl(sys, self.k, self.m, steps)
+    }
+
+    /// SPMD program for one macro step (store conventions as for
+    /// [`Pab::build_program`](crate::Pab::build_program)).
+    pub fn build_program(&self, sys: &Arc<dyn OdeSystem>, groups: &[Range<usize>]) -> Program {
+        build_block_program(sys, &self.block, self.m, groups)
+    }
+
+    /// Run `steps` macro steps of the SPMD program.
+    pub fn run_spmd(
+        &self,
+        team: &pt_exec::Team,
+        sys: &Arc<dyn OdeSystem>,
+        groups: &[Range<usize>],
+        store: &Arc<DataStore>,
+        steps: usize,
+    ) {
+        let program = self.build_program(sys, groups);
+        for _ in 0..steps {
+            team.run(&program, store);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pab::{state_to_store, store_to_state};
+    use crate::system::{max_err, LinearTest};
+    use crate::{Bruss2d, Pab};
+    use pt_exec::Team;
+
+    #[test]
+    fn corrector_improves_on_pab() {
+        let sys = LinearTest::scalar(-1.0);
+        let h = 0.1;
+        let pab = Pab::new(4);
+        let pabm = Pabm::new(4, 2);
+        let (t1, y_pab) = pab.integrate(&sys, 0.0, &[1.0], 1.0, h);
+        let (t2, y_pabm) = pabm.integrate(&sys, 0.0, &[1.0], 1.0, h);
+        assert_eq!(t1, t2);
+        let e_pab = max_err(&y_pab, &sys.exact(&[1.0], t1));
+        let e_pabm = max_err(&y_pabm, &sys.exact(&[1.0], t2));
+        assert!(
+            e_pabm < e_pab,
+            "corrector must improve: PAB {e_pab} vs PABM {e_pabm}"
+        );
+    }
+
+    #[test]
+    fn pabm_tracks_exponential_accurately() {
+        let sys = LinearTest::scalar(-2.0);
+        let pabm = Pabm::new(4, 3);
+        let (t, y) = pabm.integrate(&sys, 0.0, &[1.0], 1.0, 0.05);
+        assert!(max_err(&y, &sys.exact(&[1.0], t)) < 1e-7);
+    }
+
+    #[test]
+    fn pabm_convergence_in_h() {
+        let sys = LinearTest::scalar(-0.5);
+        let pabm = Pabm::new(4, 2);
+        let (t1, y1) = pabm.integrate(&sys, 0.0, &[1.0], 1.0, 0.1);
+        let (t2, y2) = pabm.integrate(&sys, 0.0, &[1.0], 1.0, 0.05);
+        let e1 = max_err(&y1, &sys.exact(&[1.0], t1));
+        let e2 = max_err(&y2, &sys.exact(&[1.0], t2));
+        assert!(e2 < e1 / 4.0, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn step_graph_has_predictor_and_corrector_layers() {
+        let sys = LinearTest::diagonal(64, -1.0, 0.0);
+        let pabm = Pabm::new(8, 2);
+        let g = pabm.step_graph(&sys, 1);
+        // 8 predictors + 2×8 correctors + start/stop (no global advance).
+        assert_eq!(g.len(), 8 + 16 + 2);
+        let layers = pt_mtask::layers(&pt_mtask::ChainGraph::contract(&g).graph);
+        // predict | correctors (the per-point sweep chains contract).
+        assert!(layers.len() >= 2);
+        assert_eq!(layers[0].len(), 8);
+    }
+
+    #[test]
+    fn spmd_matches_sequential() {
+        let sys_c = Bruss2d::new(4);
+        let y0 = sys_c.initial_value();
+        let pabm = Pabm::new(4, 2);
+        let h = 5e-4;
+        let st0 = startup(&sys_c, 0.0, &y0, h, 4);
+        let mut seq = st0.clone();
+        for _ in 0..2 {
+            seq = pabm.step(&sys_c, &seq);
+        }
+        let sys: Arc<dyn OdeSystem> = Arc::new(sys_c);
+        let team = Team::new(4);
+        let store = DataStore::new();
+        state_to_store(&st0, &store);
+        pabm.run_spmd(&team, &sys, &[0..2, 2..4], &store, 2);
+        let result = store_to_state(&store, 4);
+        assert!(
+            max_err(&result.y, &seq.y) < 1e-12,
+            "err {}",
+            max_err(&result.y, &seq.y)
+        );
+    }
+}

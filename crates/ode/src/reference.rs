@@ -1,0 +1,80 @@
+//! Reference integrator (classic RK4) used to validate the parallel
+//! solvers' numerics.
+
+use crate::system::OdeSystem;
+
+/// One classic fourth-order Runge–Kutta step.
+pub fn rk4_step(sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut Vec<f64>) {
+    let n = sys.dim();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    sys.eval(t, y, &mut k1);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k1[i];
+    }
+    sys.eval(t + 0.5 * h, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * h * k2[i];
+    }
+    sys.eval(t + 0.5 * h, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = y[i] + h * k3[i];
+    }
+    sys.eval(t + h, &tmp, &mut k4);
+
+    out.clear();
+    out.extend(
+        (0..n).map(|i| y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i])),
+    );
+}
+
+/// Integrate from `t0` to `t_end` with fixed step `h` (the last step is
+/// shortened to land exactly on `t_end`).
+pub fn rk4_integrate(sys: &dyn OdeSystem, t0: f64, y0: &[f64], t_end: f64, h: f64) -> Vec<f64> {
+    assert!(h > 0.0 && t_end >= t0);
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut next = Vec::new();
+    while t < t_end - 1e-14 {
+        let step = h.min(t_end - t);
+        rk4_step(sys, t, &y, step, &mut next);
+        std::mem::swap(&mut y, &mut next);
+        t += step;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{max_err, LinearTest};
+
+    #[test]
+    fn rk4_matches_exact_exponential() {
+        let sys = LinearTest::scalar(-1.0);
+        let y = rk4_integrate(&sys, 0.0, &[1.0], 1.0, 0.01);
+        let exact = sys.exact(&[1.0], 1.0);
+        assert!(max_err(&y, &exact) < 1e-9);
+    }
+
+    #[test]
+    fn rk4_is_fourth_order() {
+        let sys = LinearTest::scalar(1.0);
+        let exact = sys.exact(&[1.0], 1.0);
+        let e1 = max_err(&rk4_integrate(&sys, 0.0, &[1.0], 1.0, 0.1), &exact);
+        let e2 = max_err(&rk4_integrate(&sys, 0.0, &[1.0], 1.0, 0.05), &exact);
+        let order = (e1 / e2).log2();
+        assert!(order > 3.5, "observed order {order}");
+    }
+
+    #[test]
+    fn last_step_lands_exactly() {
+        let sys = LinearTest::scalar(0.0); // y' = 0
+        let y = rk4_integrate(&sys, 0.0, &[5.0], 0.95, 0.1);
+        assert_eq!(y, vec![5.0]);
+    }
+}

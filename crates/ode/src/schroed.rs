@@ -1,0 +1,123 @@
+//! SCHROED — a dense ODE system with quadratic evaluation cost, standing in
+//! for the Galerkin approximation of the Schrödinger–Poisson system used by
+//! the paper (its *dense* test system, the paper's ref.\[41]).
+//!
+//! The original system couples every Galerkin coefficient with every other
+//! through an integral operator; the essential property for the scheduling
+//! study is that evaluating one component reads **all** components
+//! (`teval(f) = Θ(n)`), so the evaluation cost of the full right-hand side
+//! is `Θ(n²)`.  We model this with a skew-symmetric full coupling matrix
+//! (energy-conserving, so trajectories stay bounded) plus a weak
+//! nonlinearity:
+//!
+//! ```text
+//! y_i' = Σ_j  A_ij · sin(y_j),      A_ij = −A_ji = κ / (1 + |i − j|)
+//! ```
+
+use crate::system::OdeSystem;
+use std::ops::Range;
+
+/// The dense synthetic Schrödinger–Poisson-like system.
+#[derive(Debug, Clone)]
+pub struct Schroed {
+    /// Dimension `n`.
+    pub n: usize,
+    /// Coupling strength `κ`.
+    pub kappa: f64,
+}
+
+impl Schroed {
+    /// System of dimension `n` with default coupling.
+    pub fn new(n: usize) -> Schroed {
+        assert!(n >= 1);
+        Schroed { n, kappa: 0.5 }
+    }
+
+    #[inline]
+    fn coupling(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let d = i.abs_diff(j) as f64;
+        let sign = if i < j { 1.0 } else { -1.0 };
+        sign * self.kappa / (1.0 + d)
+    }
+}
+
+impl OdeSystem for Schroed {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn eval_range(&self, _t: f64, y: &[f64], range: Range<usize>, out: &mut [f64]) {
+        // Precompute sin(y_j) once per call; dominated by the O(range·n)
+        // coupling loop anyway.
+        let sins: Vec<f64> = y.iter().map(|v| v.sin()).collect();
+        for (o, i) in out.iter_mut().zip(range) {
+            let mut acc = 0.0;
+            for (j, &sj) in sins.iter().enumerate() {
+                acc += self.coupling(i, j) * sj;
+            }
+            *o = acc;
+        }
+    }
+
+    fn flops_per_component(&self) -> f64 {
+        // ~4 flops per coupling term.
+        4.0 * self.n as f64
+    }
+
+    fn initial_value(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| 0.5 + 0.4 * (i as f64 * 0.7).sin())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupling_is_skew_symmetric() {
+        let s = Schroed::new(8);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((s.coupling(i, j) + s.coupling(j, i)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_range_matches_full() {
+        let s = Schroed::new(20);
+        let y = s.initial_value();
+        let mut full = vec![0.0; 20];
+        s.eval(0.0, &y, &mut full);
+        let mut part = vec![0.0; 5];
+        s.eval_range(0.0, &y, 7..12, &mut part);
+        assert_eq!(&full[7..12], &part[..]);
+    }
+
+    #[test]
+    fn cost_is_quadratic() {
+        let s = Schroed::new(100);
+        assert_eq!(s.eval_flops(), 4.0 * 100.0 * 100.0);
+    }
+
+    #[test]
+    fn dynamics_stay_bounded_short_term() {
+        // Energy-conserving coupling keeps values finite over a few Euler
+        // steps.
+        let s = Schroed::new(16);
+        let mut y = s.initial_value();
+        let mut d = vec![0.0; 16];
+        for _ in 0..100 {
+            s.eval(0.0, &y, &mut d);
+            for (yi, di) in y.iter_mut().zip(&d) {
+                *yi += 0.01 * di;
+            }
+        }
+        assert!(y.iter().all(|v| v.abs() < 100.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! Small helpers shared by the SPMD solver implementations.
+
+use pt_exec::{block_range, TaskCtx};
+
+/// Per-rank block sizes of a block distribution of `n` elements.
+pub fn block_counts(n: usize, size: usize) -> Vec<usize> {
+    (0..size).map(|r| block_range(n, r, size).len()).collect()
+}
+
+/// Assemble the full `n`-vector from this rank's owned block via a group
+/// allgatherv.
+pub fn gather_blocks(ctx: &TaskCtx, n: usize, local: &[f64]) -> Vec<f64> {
+    let counts = block_counts(n, ctx.size);
+    debug_assert_eq!(local.len(), counts[ctx.rank]);
+    let mut full = vec![0.0; n];
+    ctx.comm.allgatherv(ctx.rank, local, &counts, &mut full);
+    full
+}
+
+/// Evaluate `sys` on this rank's block of the state `y` at time `t` and
+/// return the assembled full derivative vector.
+pub fn eval_distributed(
+    ctx: &TaskCtx,
+    sys: &dyn crate::OdeSystem,
+    t: f64,
+    y: &[f64],
+) -> Vec<f64> {
+    let n = sys.dim();
+    let range = ctx.block_range(n);
+    let mut local = vec![0.0; range.len()];
+    sys.eval_range(t, y, range, &mut local);
+    gather_blocks(ctx, n, &local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts_sum_to_n() {
+        for n in [0usize, 5, 17, 64] {
+            for s in [1usize, 2, 5] {
+                assert_eq!(block_counts(n, s).iter().sum::<usize>(), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The right-hand-side abstraction of an ODE initial value problem.
+
+use std::ops::Range;
+
+/// A system of ordinary differential equations `y' = f(t, y)`.
+///
+/// Implementations must be thread-safe: the SPMD solvers evaluate disjoint
+/// component ranges concurrently ([`OdeSystem::eval_range`]).
+pub trait OdeSystem: Send + Sync {
+    /// System dimension `n`.
+    fn dim(&self) -> usize;
+
+    /// Evaluate the full right-hand side: `dydt[i] = f_i(t, y)`.
+    fn eval(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        let n = self.dim();
+        debug_assert_eq!(y.len(), n);
+        debug_assert_eq!(dydt.len(), n);
+        self.eval_range(t, y, 0..n, dydt);
+    }
+
+    /// Evaluate the components `range` into `out[0 .. range.len()]`,
+    /// reading the full state `y`.  This is the unit the SPMD
+    /// implementations distribute over the cores of a group.
+    fn eval_range(&self, t: f64, y: &[f64], range: Range<usize>, out: &mut [f64]);
+
+    /// Approximate floating-point operations to evaluate *one* component —
+    /// the `teval(f)` of the paper's cost function for the `step` M-task
+    /// (§3.1).  Linear-cost (sparse) systems return a constant; dense
+    /// systems return `Θ(n)`.
+    fn flops_per_component(&self) -> f64;
+
+    /// Approximate cost of one full evaluation.
+    fn eval_flops(&self) -> f64 {
+        self.flops_per_component() * self.dim() as f64
+    }
+
+    /// A representative initial value for benchmarks and tests.
+    fn initial_value(&self) -> Vec<f64>;
+
+    /// Approximate floating-point cost of one direct (Newton/elimination)
+    /// solve of a stage system `(I − hγ·J) x = b`, used by the DIIRK cost
+    /// emitter.  Default: dense elimination `n³/3`.
+    fn implicit_solve_flops(&self) -> f64 {
+        let n = self.dim() as f64;
+        n * n * n / 3.0
+    }
+
+    /// Bytes of one elimination row broadcast during a distributed direct
+    /// solve (the `(n−1)·I · Tbc` operations of the paper's Table 1).
+    /// Default: a dense row, `8n` bytes.
+    fn elimination_row_bytes(&self) -> f64 {
+        8.0 * self.dim() as f64
+    }
+}
+
+/// The scalar/diagonal linear test equation `y_i' = λ_i y_i` with exact
+/// solution `y_i(t) = y_i(0)·exp(λ_i t)`; the standard correctness probe
+/// for all five solvers.
+#[derive(Debug, Clone)]
+pub struct LinearTest {
+    /// Per-component rates.
+    pub lambdas: Vec<f64>,
+}
+
+impl LinearTest {
+    /// Scalar test equation `y' = λy`.
+    pub fn scalar(lambda: f64) -> Self {
+        LinearTest {
+            lambdas: vec![lambda],
+        }
+    }
+
+    /// Diagonal system with `n` rates spread over `[lo, hi]`.
+    pub fn diagonal(n: usize, lo: f64, hi: f64) -> Self {
+        assert!(n >= 1);
+        let lambdas = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    lo
+                } else {
+                    lo + (hi - lo) * i as f64 / (n - 1) as f64
+                }
+            })
+            .collect();
+        LinearTest { lambdas }
+    }
+
+    /// Exact solution at time `t` from `y0` at time `0`.
+    pub fn exact(&self, y0: &[f64], t: f64) -> Vec<f64> {
+        y0.iter()
+            .zip(&self.lambdas)
+            .map(|(&y, &l)| y * (l * t).exp())
+            .collect()
+    }
+}
+
+impl OdeSystem for LinearTest {
+    fn dim(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    fn eval_range(&self, _t: f64, y: &[f64], range: Range<usize>, out: &mut [f64]) {
+        for (o, i) in out.iter_mut().zip(range) {
+            *o = self.lambdas[i] * y[i];
+        }
+    }
+
+    fn flops_per_component(&self) -> f64 {
+        1.0
+    }
+
+    fn initial_value(&self) -> Vec<f64> {
+        vec![1.0; self.dim()]
+    }
+}
+
+/// Maximum norm of the difference of two vectors.
+pub fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_eval_matches_definition() {
+        let sys = LinearTest::diagonal(4, -1.0, 2.0);
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let mut d = vec![0.0; 4];
+        sys.eval(0.0, &y, &mut d);
+        assert_eq!(d[0], -1.0);
+        assert_eq!(d[3], 2.0 * 4.0);
+    }
+
+    #[test]
+    fn eval_range_consistent_with_full_eval() {
+        let sys = LinearTest::diagonal(10, -2.0, 2.0);
+        let y: Vec<f64> = (0..10).map(|i| i as f64 * 0.3 + 1.0).collect();
+        let mut full = vec![0.0; 10];
+        sys.eval(0.0, &y, &mut full);
+        let mut part = vec![0.0; 4];
+        sys.eval_range(0.0, &y, 3..7, &mut part);
+        assert_eq!(&full[3..7], &part[..]);
+    }
+
+    #[test]
+    fn exact_solution_decays() {
+        let sys = LinearTest::scalar(-1.0);
+        let y = sys.exact(&[1.0], 1.0);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_err_works() {
+        assert_eq!(max_err(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+    }
+}

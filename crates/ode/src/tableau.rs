@@ -1,0 +1,141 @@
+//! Runge–Kutta tableaus and Adams block coefficients, derived numerically
+//! from collocation/interpolation conditions (exact for the small stage
+//! counts used: `K ≤ 8`).
+
+use crate::linalg::{lagrange_integrals, legendre_roots};
+
+/// A Butcher tableau `(A, b, c)` of an `s`-stage Runge–Kutta method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tableau {
+    /// Stage count.
+    pub s: usize,
+    /// Row-major `s×s` coefficient matrix `A`.
+    pub a: Vec<f64>,
+    /// Weights `b`.
+    pub b: Vec<f64>,
+    /// Nodes `c`.
+    pub c: Vec<f64>,
+}
+
+impl Tableau {
+    /// `A[i][j]`.
+    #[inline]
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.s + j]
+    }
+}
+
+/// The `s`-stage Gauss–Legendre collocation method (order `2s`), the
+/// classic corrector of the iterated RK (IRK/DIIRK) solvers.
+pub fn gauss(s: usize) -> Tableau {
+    let c: Vec<f64> = legendre_roots(s)
+        .iter()
+        .map(|x| 0.5 * (x + 1.0))
+        .collect();
+    let b = lagrange_integrals(&c, 1.0);
+    let mut a = vec![0.0; s * s];
+    for i in 0..s {
+        let row = lagrange_integrals(&c, c[i]);
+        a[i * s..(i + 1) * s].copy_from_slice(&row);
+    }
+    Tableau { s, a, b, c }
+}
+
+/// Block coefficients of the parallel Adams methods with equidistant block
+/// points `c_i = i/K` (van der Houwen's PAB/PABM).
+#[derive(Debug, Clone)]
+pub struct AdamsBlock {
+    /// Block size `K`.
+    pub k: usize,
+    /// Block abscissae within one macro step: `c_i = (i+1)/K`.
+    pub c: Vec<f64>,
+    /// Predictor weights: `w_pred[i][j]` integrates the interpolant through
+    /// the *previous* block's points (at `c_j − 1`) from `0` to `c_i`.
+    pub w_pred: Vec<Vec<f64>>,
+    /// Corrector weights: `w_corr[i][j]` integrates the interpolant through
+    /// the *current* block's points (at `c_j`) from `0` to `c_i`.
+    pub w_corr: Vec<Vec<f64>>,
+}
+
+impl AdamsBlock {
+    /// Coefficients for block size `k`.
+    pub fn new(k: usize) -> AdamsBlock {
+        assert!(k >= 1, "block size must be positive");
+        let c: Vec<f64> = (1..=k).map(|i| i as f64 / k as f64).collect();
+        let prev_nodes: Vec<f64> = c.iter().map(|ci| ci - 1.0).collect();
+        let w_pred = c
+            .iter()
+            .map(|&ci| lagrange_integrals(&prev_nodes, ci))
+            .collect();
+        let w_corr = c.iter().map(|&ci| lagrange_integrals(&c, ci)).collect();
+        AdamsBlock {
+            k,
+            c,
+            w_pred,
+            w_corr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss1_is_midpoint() {
+        let t = gauss(1);
+        assert!((t.c[0] - 0.5).abs() < 1e-14);
+        assert!((t.b[0] - 1.0).abs() < 1e-14);
+        assert!((t.a(0, 0) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss2_matches_known_tableau() {
+        let t = gauss(2);
+        let r = 3f64.sqrt() / 6.0;
+        assert!((t.c[0] - (0.5 - r)).abs() < 1e-12);
+        assert!((t.c[1] - (0.5 + r)).abs() < 1e-12);
+        assert!((t.b[0] - 0.5).abs() < 1e-12);
+        assert!((t.a(0, 0) - 0.25).abs() < 1e-12);
+        assert!((t.a(0, 1) - (0.25 - r)).abs() < 1e-12);
+        assert!((t.a(1, 0) - (0.25 + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_rows_sum_to_c_and_b_to_one() {
+        for s in 1..=6 {
+            let t = gauss(s);
+            assert!((t.b.iter().sum::<f64>() - 1.0).abs() < 1e-10, "s={s}");
+            for i in 0..s {
+                let row: f64 = (0..s).map(|j| t.a(i, j)).sum();
+                assert!((row - t.c[i]).abs() < 1e-10, "s={s} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn adams_block_weights_integrate_polynomials_exactly() {
+        // The corrector weights must integrate any polynomial of degree
+        // < K through the block nodes exactly.
+        let k = 4;
+        let ab = AdamsBlock::new(k);
+        let poly = |x: f64| 1.0 + 2.0 * x - x * x + 0.5 * x * x * x;
+        let poly_int = |x: f64| x + x * x - x * x * x / 3.0 + x * x * x * x / 8.0;
+        for i in 0..k {
+            let approx: f64 = (0..k).map(|j| ab.w_corr[i][j] * poly(ab.c[j])).sum();
+            let exact = poly_int(ab.c[i]);
+            assert!((approx - exact).abs() < 1e-10, "corr i={i}");
+            let approx_p: f64 = (0..k)
+                .map(|j| ab.w_pred[i][j] * poly(ab.c[j] - 1.0))
+                .sum();
+            assert!((approx_p - exact).abs() < 1e-10, "pred i={i}");
+        }
+    }
+
+    #[test]
+    fn adams_block_c_is_equidistant_ending_at_one() {
+        let ab = AdamsBlock::new(5);
+        assert!((ab.c[4] - 1.0).abs() < 1e-15);
+        assert!((ab.c[1] - ab.c[0] - 0.2).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,222 @@
+//! Simulation of flat schedules (the CPA/CPR output form): execution is
+//! driven by task dependencies and physical core occupancy, in dispatch
+//! order.  Without the layer structure there is no *static* notion of
+//! concurrent groups, so NIC contention is recovered by a two-pass
+//! refinement: a first pass without cross-task contention yields tentative
+//! execution intervals; the second pass charges every task with the
+//! contention context of the tasks its interval overlaps.
+
+use crate::report::{SimReport, TaskTiming};
+use crate::Simulator;
+use pt_core::{Mapping, SymbolicSchedule};
+use pt_cost::CommContext;
+use pt_machine::CoreId;
+use pt_mtask::{TaskGraph, TaskId};
+use std::collections::HashMap;
+
+impl Simulator<'_> {
+    /// Simulate a flat schedule under a mapping.
+    pub fn simulate_flat(
+        &self,
+        graph: &TaskGraph,
+        sched: &SymbolicSchedule,
+        mapping: &Mapping,
+    ) -> SimReport {
+        debug_assert!(sched.validate(graph).is_ok());
+        // Pass 1: no cross-task contention.
+        let first = self.flat_pass(graph, sched, mapping, None);
+        // Pass 2: per-task contention context from overlapping intervals.
+        self.flat_pass(graph, sched, mapping, Some(&first))
+    }
+
+    fn flat_pass(
+        &self,
+        graph: &TaskGraph,
+        sched: &SymbolicSchedule,
+        mapping: &Mapping,
+        tentative: Option<&SimReport>,
+    ) -> SimReport {
+        let spec = self.model.spec;
+        let uniform = CommContext::uniform(spec);
+        let p = mapping.len();
+        let mut core_free: HashMap<CoreId, f64> = HashMap::with_capacity(p);
+        let mut finish: HashMap<TaskId, f64> = HashMap::new();
+        let mut placement: HashMap<TaskId, Vec<CoreId>> = HashMap::new();
+        let mut report = SimReport::default();
+
+        // Tentative intervals and core sets from pass 1, used to determine
+        // which tasks communicate concurrently.
+        let intervals: HashMap<TaskId, (f64, f64)> = tentative
+            .map(|r| {
+                r.tasks
+                    .iter()
+                    .map(|t| (t.task, (t.start, t.finish)))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        for entry in &sched.entries {
+            let cores = mapping.map(&entry.cores);
+            let ctx = match tentative {
+                None => uniform.clone(),
+                Some(prev) => {
+                    // Groups whose tentative interval overlaps this task's.
+                    let (my_s, my_f) = intervals
+                        .get(&entry.task)
+                        .copied()
+                        .unwrap_or((0.0, f64::INFINITY));
+                    let mut concurrent: Vec<Vec<CoreId>> = vec![cores.clone()];
+                    for other in &prev.tasks {
+                        if other.task == entry.task {
+                            continue;
+                        }
+                        let (os, of) = (other.start, other.finish);
+                        if os < my_f && my_s < of {
+                            concurrent.push(mapping.map(
+                                &sched
+                                    .entries
+                                    .iter()
+                                    .find(|e| e.task == other.task)
+                                    .expect("entry exists")
+                                    .cores,
+                            ));
+                        }
+                    }
+                    CommContext::from_groups(spec, &concurrent)
+                }
+            };
+            // Producers must have finished; the incoming re-distributions
+            // then serialise at the consumer (its cores receive one foreign
+            // datum after another).
+            let mut preds_done = 0.0f64;
+            let mut redist_total = 0.0f64;
+            for &pr in graph.preds(entry.task) {
+                let pf = resolve_finish(graph, pr, &finish);
+                preds_done = preds_done.max(pf);
+                if let Some(src) = placement.get(&pr) {
+                    let edge = *graph.edge(pr, entry.task).expect("edge exists");
+                    redist_total += self.model.redist_time(&ctx, &edge, src, &cores);
+                }
+            }
+            let data_ready = preds_done + redist_total;
+            let cores_ready = cores
+                .iter()
+                .map(|c| core_free.get(c).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            let start = data_ready.max(cores_ready);
+            let task = graph.task(entry.task);
+            let dur = self.model.task_time(&ctx, task, &cores);
+            let useful = match task.max_cores {
+                Some(cap) => cores.len().min(cap),
+                None => cores.len(),
+            };
+            let compute = spec.compute_time(task.work) / useful.max(1) as f64;
+            let end = start + dur;
+            for &c in &cores {
+                core_free.insert(c, end);
+            }
+            finish.insert(entry.task, end);
+            placement.insert(entry.task, cores);
+            report.tasks.push(TaskTiming {
+                task: entry.task,
+                start,
+                finish: end,
+                comm_time: (dur - compute).max(0.0),
+            });
+        }
+        report.makespan = report.tasks.iter().map(|t| t.finish).fold(0.0, f64::max);
+        report
+    }
+}
+
+/// Finish time of a task, resolving unscheduled (structural) nodes
+/// recursively through their predecessors.
+fn resolve_finish(graph: &TaskGraph, t: TaskId, finish: &HashMap<TaskId, f64>) -> f64 {
+    if let Some(&f) = finish.get(&t) {
+        return f;
+    }
+    graph
+        .preds(t)
+        .iter()
+        .map(|&p| resolve_finish(graph, p, finish))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Simulator;
+    use pt_core::{Cpa, Cpr, MappingStrategy};
+    use pt_cost::CostModel;
+    use pt_machine::platforms;
+    use pt_mtask::{CommOp, EdgeData, MTask, TaskGraph};
+
+    #[test]
+    fn flat_respects_dependencies_and_occupancy() {
+        let spec = platforms::chic().with_nodes(2);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 5.2e9));
+        let b = g.add_task(MTask::compute("b", 5.2e9));
+        g.add_edge(a, b, EdgeData::replicated(1e6));
+        let cpa = Cpa::new(&model);
+        let sched = cpa.schedule(&g);
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, 8);
+        let rep = sim.simulate_flat(&g, &sched, &mapping);
+        let ta = rep.task(a).unwrap();
+        let tb = rep.task(b).unwrap();
+        assert!(tb.start >= ta.finish);
+    }
+
+    #[test]
+    fn cpr_schedule_simulates_concurrent_stages() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        let stages: Vec<_> = (0..4)
+            .map(|i| {
+                g.add_task(MTask::with_comm(
+                    format!("s{i}"),
+                    5.2e9,
+                    vec![CommOp::allgather(80_000.0, 1.0)],
+                ))
+            })
+            .collect();
+        let sched = Cpr::new(&model).schedule(&g);
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, 16);
+        let rep = sim.simulate_flat(&g, &sched, &mapping);
+        // All stages overlap.
+        let max_start = stages
+            .iter()
+            .map(|s| rep.task(*s).unwrap().start)
+            .fold(0.0, f64::max);
+        let min_finish = stages
+            .iter()
+            .map(|s| rep.task(*s).unwrap().finish)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_start < min_finish);
+    }
+
+    #[test]
+    fn structural_predecessors_resolve_to_zero() {
+        let spec = platforms::chic().with_nodes(1);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1e9));
+        let _ = g.add_start_stop();
+        let sched = pt_core::SymbolicSchedule {
+            total_cores: 4,
+            entries: vec![pt_core::ScheduledTask {
+                task: a,
+                cores: vec![0, 1, 2, 3],
+                est_start: 0.0,
+                est_finish: 1.0,
+            }],
+        };
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, 4);
+        let rep = sim.simulate_flat(&g, &sched, &mapping);
+        assert!((rep.task(a).unwrap().start).abs() < 1e-12);
+    }
+}

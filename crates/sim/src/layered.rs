@@ -1,0 +1,329 @@
+//! Simulation of layered schedules (the native output of the paper's
+//! Algorithm 1): layers execute one after another; within a layer the
+//! groups run concurrently (sharing node NICs); data re-distribution is
+//! paid at layer boundaries, with the orthogonal exchanges of all producer
+//! groups aggregated into one concurrent multi-allgather phase.
+
+use crate::report::{GroupTiming, LayerTiming, SimReport, TaskTiming};
+use crate::Simulator;
+use pt_core::hybrid::{hybrid_task_time, ProcessLayout};
+use pt_core::{LayeredSchedule, Mapping};
+use pt_cost::CommContext;
+use pt_machine::CoreId;
+use pt_mtask::{RedistPattern, TaskGraph, TaskId};
+use std::collections::HashMap;
+
+impl Simulator<'_> {
+    /// Simulate a layered schedule under a mapping.
+    pub fn simulate_layered(
+        &self,
+        graph: &TaskGraph,
+        sched: &LayeredSchedule,
+        mapping: &Mapping,
+    ) -> SimReport {
+        assert!(
+            mapping.len() >= sched.total_cores,
+            "mapping covers {} cores, schedule needs {}",
+            mapping.len(),
+            sched.total_cores
+        );
+        let spec = self.model.spec;
+        let mut report = SimReport::default();
+        // Where each task ran: physical cores of its group.
+        let mut placement: HashMap<TaskId, std::rc::Rc<Vec<CoreId>>> = HashMap::new();
+        let mut now = 0.0f64;
+
+        for layer in &sched.layers {
+            let phys: Vec<std::rc::Rc<Vec<CoreId>>> = (0..layer.num_groups())
+                .map(|g| std::rc::Rc::new(mapping.map_range(layer.group_range(g))))
+                .collect();
+            let active: Vec<&[CoreId]> = layer
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, ts)| !ts.is_empty())
+                .map(|(g, _)| phys[g].as_slice())
+                .collect();
+            let ctx = CommContext::from_groups(spec, &active);
+
+            // --- Re-distribution phase -----------------------------------
+            let redist = self.layer_redistribution(graph, layer, &phys, &placement, &ctx);
+            now += redist;
+            report.total_redist += redist;
+
+            // --- Compute phase -------------------------------------------
+            let mut groups = Vec::with_capacity(layer.num_groups());
+            let mut layer_busy = 0.0f64;
+            for (g, tasks) in layer.assignments.iter().enumerate() {
+                let cores = &phys[g];
+                let mut cursor = now;
+                for &t in tasks {
+                    let task = graph.task(t);
+                    let (dur, comm) = self.task_duration(task, cores, &ctx);
+                    report.tasks.push(TaskTiming {
+                        task: t,
+                        start: cursor,
+                        finish: cursor + dur,
+                        comm_time: comm,
+                    });
+                    placement.insert(t, cores.clone());
+                    cursor += dur;
+                }
+                let busy = cursor - now;
+                layer_busy = layer_busy.max(busy);
+                groups.push(GroupTiming {
+                    group: g,
+                    busy,
+                    tasks: tasks.clone(),
+                });
+            }
+            report.layers.push(LayerTiming {
+                start: now,
+                finish: now + layer_busy,
+                redist,
+                groups,
+            });
+            now += layer_busy;
+        }
+        report.makespan = now;
+        report
+    }
+
+    /// Duration and communication share of one task on its mapped cores.
+    fn task_duration(
+        &self,
+        task: &pt_mtask::MTask,
+        cores: &[CoreId],
+        ctx: &CommContext,
+    ) -> (f64, f64) {
+        match &self.hybrid {
+            Some(cfg) => {
+                let layout = ProcessLayout::build(self.model.spec, cores, cfg);
+                let total = hybrid_task_time(self.model, ctx, task, &layout, cfg);
+                let capacity: f64 = layout
+                    .processes
+                    .iter()
+                    .map(|p| 1.0 + (p.threads as f64 - 1.0) * cfg.thread_efficiency)
+                    .sum();
+                let capacity = match task.max_cores {
+                    Some(cap) => capacity.min(cap as f64),
+                    None => capacity,
+                };
+                let compute = self.model.spec.compute_time(task.work) / capacity.max(1.0);
+                (total, (total - compute).max(0.0))
+            }
+            None => {
+                let total = self.model.task_time(ctx, task, cores);
+                let useful = match task.max_cores {
+                    Some(cap) => cores.len().min(cap),
+                    None => cores.len(),
+                };
+                let compute = self.model.spec.compute_time(task.work) / useful.max(1) as f64;
+                (total, (total - compute).max(0.0))
+            }
+        }
+    }
+
+    /// Re-distribution time paid before a layer can start: the aggregated
+    /// orthogonal exchange plus the slowest of the remaining per-edge
+    /// re-distributions (all phases overlap).
+    fn layer_redistribution(
+        &self,
+        graph: &TaskGraph,
+        layer: &pt_core::LayerSchedule,
+        phys: &[std::rc::Rc<Vec<CoreId>>],
+        placement: &HashMap<TaskId, std::rc::Rc<Vec<CoreId>>>,
+        ctx: &CommContext,
+    ) -> f64 {
+        let mut worst = 0.0f64;
+        // (producer task) -> contribution for the aggregated orthogonal set.
+        let mut ortho_sources: HashMap<TaskId, (std::rc::Rc<Vec<CoreId>>, f64)> = HashMap::new();
+        let mut ortho_groups: Vec<std::rc::Rc<Vec<CoreId>>> = Vec::new();
+
+        for (g, tasks) in layer.assignments.iter().enumerate() {
+            let dst = &phys[g];
+            let mut dst_in_ortho = false;
+            // Incoming re-distributions serialise at the consumer group;
+            // different groups receive concurrently (hence max over groups).
+            let mut group_incoming = 0.0f64;
+            for &t in tasks {
+                for &p in graph.preds(t) {
+                    let Some(src) = placement.get(&p) else {
+                        continue; // unscheduled (structural) predecessor
+                    };
+                    let edge = *graph.edge(p, t).expect("edge exists");
+                    match edge.pattern {
+                        RedistPattern::Orthogonal => {
+                            let q = src.len().max(1) as f64;
+                            ortho_sources
+                                .entry(p)
+                                .or_insert_with(|| (src.clone(), edge.bytes / q));
+                            if !dst_in_ortho {
+                                dst_in_ortho = true;
+                            }
+                        }
+                        _ => {
+                            group_incoming +=
+                                self.model.redist_time(ctx, &edge, src, dst);
+                        }
+                    }
+                }
+            }
+            worst = worst.max(group_incoming);
+            if dst_in_ortho {
+                ortho_groups.push(dst.clone());
+            }
+        }
+
+        if !ortho_sources.is_empty() {
+            // Participants: all producer groups plus consumer groups
+            // (deduplicated by identical core sets).
+            let mut participants: Vec<std::rc::Rc<Vec<CoreId>>> = Vec::new();
+            let push_unique = |g: &std::rc::Rc<Vec<CoreId>>,
+                                   participants: &mut Vec<std::rc::Rc<Vec<CoreId>>>| {
+                if !participants.iter().any(|x| x.as_slice() == g.as_slice()) {
+                    participants.push(g.clone());
+                }
+            };
+            for (src, _) in ortho_sources.values() {
+                push_unique(src, &mut participants);
+            }
+            for g in &ortho_groups {
+                push_unique(g, &mut participants);
+            }
+            let total_bytes: f64 = ortho_sources.values().map(|(_, b)| b).sum();
+            let groups: Vec<&[CoreId]> = participants.iter().map(|g| g.as_slice()).collect();
+            worst = worst.max(self.model.orthogonal_exchange(&groups, total_bytes));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Simulator;
+    use pt_core::{DataParallel, LayerScheduler, MappingStrategy};
+    use pt_cost::CostModel;
+    use pt_machine::platforms;
+    use pt_mtask::{DataRef, EdgeData, MTask, Spec, TaskGraph, TaskId};
+
+    #[test]
+    fn layers_execute_back_to_back() {
+        let spec = platforms::chic().with_nodes(1);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 5.2e9));
+        let b = g.add_task(MTask::compute("b", 5.2e9));
+        g.add_ordering_edge(a, b);
+        let sched = DataParallel::schedule(&g, 4);
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, 4);
+        let rep = sim.simulate_layered(&g, &sched, &mapping);
+        assert_eq!(rep.layers.len(), 2);
+        assert!((rep.layers[0].finish - rep.layers[1].start).abs() < 1e-12);
+        assert!((rep.makespan - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redistribution_charged_between_groups() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        // Two producers on separate groups; the consumer joins both, so it
+        // cannot be chain-contracted with either and must receive at least
+        // one datum from a foreign group.
+        let g = Spec::seq(vec![
+            Spec::par(vec![
+                Spec::task(MTask::compute("p0", 1e9))
+                    .defines([DataRef::replicated("A", 1e6)]),
+                Spec::task(MTask::compute("p1", 1e9))
+                    .defines([DataRef::replicated("B", 1e6)]),
+            ]),
+            Spec::task(MTask::compute("c", 1e9)).uses(["A", "B"]),
+        ])
+        .compile_flat();
+        let sched = LayerScheduler::new(&model).with_fixed_groups(2).schedule(&g);
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, 16);
+        let rep = sim.simulate_layered(&g, &sched, &mapping);
+        assert!(
+            rep.total_redist > 0.0,
+            "replicated data must be re-broadcast to the wider group"
+        );
+    }
+
+    #[test]
+    fn zero_comm_program_is_mapping_invariant() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            g.add_task(MTask::compute(format!("t{i}"), 1e9));
+        }
+        let sched = LayerScheduler::new(&model).with_fixed_groups(8).schedule(&g);
+        let mut times = Vec::new();
+        for s in MappingStrategy::all_for(&spec) {
+            let mapping = s.mapping(&spec, 32);
+            times.push(sim.simulate_layered(&g, &sched, &mapping).makespan);
+        }
+        for w in times.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-12,
+                "mapping must not matter without communication: {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn orthogonal_exchange_aggregates_across_groups() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        // 4 stages produce orthogonally exchanged vectors consumed by the
+        // next step's stages.
+        let k = 4;
+        let bytes = 4e6;
+        let g = Spec::seq(vec![
+            Spec::parfor(0..k, |i| {
+                Spec::task(MTask::compute(format!("s{i}"), 1e9))
+                    .defines([DataRef::orthogonal(format!("V{i}"), bytes)])
+            }),
+            Spec::parfor(0..k, |i| {
+                Spec::task(MTask::compute(format!("u{i}"), 1e9))
+                    .uses((0..k).map(|j| format!("V{j}")))
+                    .defines([DataRef::orthogonal(format!("W{i}"), bytes)])
+            }),
+        ])
+        .compile_flat();
+        let sched = LayerScheduler::new(&model).with_fixed_groups(k).schedule(&g);
+        let m_cons = MappingStrategy::Consecutive.mapping(&spec, 32);
+        let m_scat = MappingStrategy::Scattered.mapping(&spec, 32);
+        let t_cons = sim.simulate_layered(&g, &sched, &m_cons);
+        let t_scat = sim.simulate_layered(&g, &sched, &m_scat);
+        assert!(t_cons.total_redist > 0.0);
+        // Orthogonal traffic favours the scattered mapping (paper §3.4).
+        assert!(
+            t_scat.total_redist < t_cons.total_redist,
+            "scattered {} vs consecutive {}",
+            t_scat.total_redist,
+            t_cons.total_redist
+        );
+    }
+
+    #[test]
+    fn task_timings_cover_all_tasks() {
+        let spec = platforms::chic().with_nodes(2);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 1e9));
+        let b = g.add_task(MTask::compute("b", 1e9));
+        g.add_edge(a, b, EdgeData::replicated(8.0));
+        let sched = DataParallel::schedule(&g, 8);
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, 8);
+        let rep = sim.simulate_layered(&g, &sched, &mapping);
+        assert!(rep.task(TaskId(0)).is_some());
+        assert!(rep.task(TaskId(1)).is_some());
+        assert!(rep.task(TaskId(1)).unwrap().start >= rep.task(TaskId(0)).unwrap().finish);
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulation results: timelines and aggregate figures.
+
+use pt_mtask::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Timing of one simulated task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTiming {
+    /// The task.
+    pub task: TaskId,
+    /// Simulated start time in seconds.
+    pub start: f64,
+    /// Simulated finish time in seconds.
+    pub finish: f64,
+    /// Portion of the duration spent in internal communication.
+    pub comm_time: f64,
+}
+
+/// Timing of one group within a layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupTiming {
+    /// Group index within the layer.
+    pub group: usize,
+    /// Busy time of the group (sum of its task durations).
+    pub busy: f64,
+    /// Tasks executed by the group, in order.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Timing of one layer (layered simulation only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Time the layer's compute phase started.
+    pub start: f64,
+    /// Time all groups of the layer finished.
+    pub finish: f64,
+    /// Re-distribution time paid before the layer could start.
+    pub redist: f64,
+    /// Per-group busy times.
+    pub groups: Vec<GroupTiming>,
+}
+
+impl LayerTiming {
+    /// Idle fraction of the layer: groups that finish early wait at the
+    /// layer barrier.
+    pub fn idle_fraction(&self) -> f64 {
+        let span = self.finish - self.start;
+        if span <= 0.0 || self.groups.is_empty() {
+            return 0.0;
+        }
+        let busy_max = self.groups.iter().map(|g| g.busy).fold(0.0, f64::max);
+        let busy_sum: f64 = self.groups.iter().map(|g| g.busy).sum();
+        1.0 - busy_sum / (busy_max * self.groups.len() as f64)
+    }
+}
+
+/// The full result of one simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total simulated execution time in seconds.
+    pub makespan: f64,
+    /// Per-task timings in start order.
+    pub tasks: Vec<TaskTiming>,
+    /// Per-layer timings (empty for flat simulations).
+    pub layers: Vec<LayerTiming>,
+    /// Total re-distribution time across layer boundaries.
+    pub total_redist: f64,
+}
+
+impl SimReport {
+    /// Speedup against a sequential execution time.
+    pub fn speedup(&self, sequential: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        sequential / self.makespan
+    }
+
+    /// Timing of a specific task, if simulated.
+    pub fn task(&self, id: TaskId) -> Option<&TaskTiming> {
+        self.tasks.iter().find(|t| t.task == id)
+    }
+
+    /// Total communication time across tasks (internal comm only).
+    pub fn total_comm(&self) -> f64 {
+        self.tasks.iter().map(|t| t.comm_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_lookup() {
+        let r = SimReport {
+            makespan: 2.0,
+            tasks: vec![TaskTiming {
+                task: TaskId(3),
+                start: 0.0,
+                finish: 2.0,
+                comm_time: 0.5,
+            }],
+            layers: vec![],
+            total_redist: 0.0,
+        };
+        assert_eq!(r.speedup(8.0), 4.0);
+        assert!(r.task(TaskId(3)).is_some());
+        assert!(r.task(TaskId(0)).is_none());
+        assert_eq!(r.total_comm(), 0.5);
+    }
+
+    #[test]
+    fn idle_fraction_zero_when_balanced() {
+        let l = LayerTiming {
+            start: 0.0,
+            finish: 1.0,
+            redist: 0.0,
+            groups: vec![
+                GroupTiming {
+                    group: 0,
+                    busy: 1.0,
+                    tasks: vec![],
+                },
+                GroupTiming {
+                    group: 1,
+                    busy: 1.0,
+                    tasks: vec![],
+                },
+            ],
+        };
+        assert!(l.idle_fraction().abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fraction_half_when_one_group_idles() {
+        let l = LayerTiming {
+            start: 0.0,
+            finish: 2.0,
+            redist: 0.0,
+            groups: vec![
+                GroupTiming {
+                    group: 0,
+                    busy: 2.0,
+                    tasks: vec![],
+                },
+                GroupTiming {
+                    group: 1,
+                    busy: 0.0,
+                    tasks: vec![],
+                },
+            ],
+        };
+        assert!((l.idle_fraction() - 0.5).abs() < 1e-12);
+    }
+}

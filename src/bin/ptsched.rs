@@ -1,0 +1,183 @@
+//! `ptsched` — schedule, map and simulate an M-task workload from the
+//! command line.
+//!
+//! ```text
+//! ptsched [--workload epol|irk|diirk|pab|pabm|sp-mz|bt-mz]
+//!         [--platform chic|altix|juropa] [--cores N]
+//!         [--mapping consecutive|scattered|mixed2|mixed4]
+//!         [--groups G] [--steps S] [--gantt]
+//! ```
+//!
+//! Prints the computed schedule, the simulated time per step under the
+//! chosen mapping (and all alternatives for comparison) and optionally an
+//! ASCII timeline.
+
+use parallel_tasks::core::{LayerScheduler, MappingStrategy};
+use parallel_tasks::cost::CostModel;
+use parallel_tasks::machine::{platforms, ClusterSpec};
+use parallel_tasks::mtask::TaskGraph;
+use parallel_tasks::nas::{bt_mz, sp_mz, Class};
+use parallel_tasks::ode::{Bruss2d, Diirk, Epol, Irk, Pab, Pabm};
+use parallel_tasks::sim::{render_gantt, render_layers, Simulator};
+
+struct Options {
+    workload: String,
+    platform: String,
+    cores: usize,
+    mapping: String,
+    groups: Option<usize>,
+    steps: usize,
+    gantt: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        workload: "epol".into(),
+        platform: "chic".into(),
+        cores: 64,
+        mapping: "consecutive".into(),
+        groups: None,
+        steps: 2,
+        gantt: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" => o.workload = take("--workload")?,
+            "--platform" => o.platform = take("--platform")?,
+            "--cores" => {
+                o.cores = take("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--mapping" => o.mapping = take("--mapping")?,
+            "--groups" => {
+                o.groups = Some(
+                    take("--groups")?
+                        .parse()
+                        .map_err(|e| format!("--groups: {e}"))?,
+                )
+            }
+            "--steps" => {
+                o.steps = take("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?
+            }
+            "--gantt" => o.gantt = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ptsched [--workload epol|irk|diirk|pab|pabm|sp-mz|bt-mz] \
+                     [--platform chic|altix|juropa] [--cores N] \
+                     [--mapping consecutive|scattered|mixed2|mixed4] \
+                     [--groups G] [--steps S] [--gantt]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn platform(name: &str) -> Result<ClusterSpec, String> {
+    match name {
+        "chic" => Ok(platforms::chic()),
+        "altix" => Ok(platforms::altix()),
+        "juropa" => Ok(platforms::juropa()),
+        other => Err(format!("unknown platform `{other}`")),
+    }
+}
+
+fn mapping(name: &str) -> Result<MappingStrategy, String> {
+    match name {
+        "consecutive" => Ok(MappingStrategy::Consecutive),
+        "scattered" => Ok(MappingStrategy::Scattered),
+        "mixed2" => Ok(MappingStrategy::Mixed(2)),
+        "mixed4" => Ok(MappingStrategy::Mixed(4)),
+        other => Err(format!("unknown mapping `{other}`")),
+    }
+}
+
+fn workload(name: &str, steps: usize) -> Result<TaskGraph, String> {
+    let sparse = Bruss2d::new(250);
+    Ok(match name {
+        "epol" => Epol::new(8).step_graph(&sparse, steps),
+        "irk" => Irk::new(4, 3).step_graph(&sparse, steps),
+        "diirk" => Diirk::new(4, 2).step_graph(&Bruss2d::new(80), steps, 2.0),
+        "pab" => Pab::new(8).step_graph(&sparse, steps),
+        "pabm" => Pabm::new(8, 2).step_graph(&sparse, steps),
+        "sp-mz" => sp_mz(Class::B).step_graph(steps),
+        "bt-mz" => bt_mz(Class::B).step_graph(steps),
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ptsched: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let run = || -> Result<(), String> {
+        let machine = platform(&o.platform)?;
+        let spec = machine.with_cores(o.cores);
+        let graph = workload(&o.workload, o.steps)?;
+        let model = CostModel::new(&spec);
+        let mut scheduler = LayerScheduler::new(&model);
+        if let Some(g) = o.groups {
+            scheduler = scheduler.with_fixed_groups(g);
+        }
+        let schedule = scheduler.schedule(&graph);
+        println!(
+            "workload {} ({} tasks, {} edges) on {} x {} cores",
+            o.workload,
+            graph.len(),
+            graph.edge_count(),
+            spec.name,
+            o.cores
+        );
+        println!(
+            "schedule: {} layers, group counts {:?}",
+            schedule.layers.len(),
+            schedule
+                .layers
+                .iter()
+                .map(|l| l.num_groups())
+                .collect::<Vec<_>>()
+        );
+
+        let sim = Simulator::new(&model);
+        let chosen = mapping(&o.mapping)?;
+        println!("\nsimulated time per step by mapping:");
+        for s in MappingStrategy::all_for(&spec) {
+            let m = s.mapping(&spec, o.cores);
+            let rep = sim.simulate_layered(&graph, &schedule, &m);
+            let marker = if s == chosen { " <-- selected" } else { "" };
+            println!(
+                "  {:<12} {:>10.3} ms{}",
+                s.name(),
+                rep.makespan / o.steps as f64 * 1e3,
+                marker
+            );
+        }
+
+        let m = chosen.mapping(&spec, o.cores);
+        let rep = sim.simulate_layered(&graph, &schedule, &m);
+        println!("\nlayer timing ({}):", chosen.name());
+        print!("{}", render_layers(&rep));
+        if o.gantt {
+            println!("\ntimeline:");
+            print!("{}", render_gantt(&rep, &graph, 64));
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("ptsched: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,27 @@
+//! `parallel-tasks` — facade crate re-exporting the full M-task stack.
+//!
+//! This workspace reproduces *"Scalable computing with parallel tasks"*
+//! (Dümmler, Rauber, Rünger; SC/MTAGS 2009) and its journal extension: the
+//! M-task programming model, the combined layer-based scheduling and mapping
+//! algorithm for hierarchical multi-core clusters, the CPA/CPR baselines, a
+//! cluster simulator, a shared-memory SPMD runtime, the five parallel ODE
+//! solvers of the evaluation (EPOL, IRK, DIIRK, PAB, PABM) and the NAS
+//! multi-zone workloads (SP-MZ, BT-MZ).
+//!
+//! Most users want:
+//!
+//! * [`mtask`] to describe programs ([`mtask::Spec`], [`mtask::TaskGraph`]),
+//! * [`machine`] to describe platforms ([`machine::ClusterSpec`]),
+//! * [`core`] to schedule and map ([`core::LayerScheduler`],
+//!   [`core::MappingStrategy`]),
+//! * [`sim`] to predict multi-node performance, [`exec`] to actually run on
+//!   local cores.
+
+pub use pt_core as core;
+pub use pt_cost as cost;
+pub use pt_exec as exec;
+pub use pt_machine as machine;
+pub use pt_mtask as mtask;
+pub use pt_nas as nas;
+pub use pt_ode as ode;
+pub use pt_sim as sim;

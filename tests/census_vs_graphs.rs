@@ -1,0 +1,158 @@
+//! Cross-validation of Table 1: the communication-operation counts derived
+//! from the *emitted M-task graphs* under a task-parallel schedule must
+//! match the paper's closed formulas (`pt_ode::census`).
+
+use parallel_tasks::core::{LayerScheduler, MappingStrategy};
+use parallel_tasks::cost::CostModel;
+use parallel_tasks::machine::platforms;
+use parallel_tasks::mtask::{CollectiveKind, RedistPattern, TaskGraph};
+use parallel_tasks::ode::{census, Bruss2d, Epol, Irk, Pab, Pabm, Version};
+
+/// Count the allgather/bcast operations of one group's tasks and of the
+/// full-width tasks in a layered schedule of a single-step graph.
+fn classify(graph: &TaskGraph, sched: &parallel_tasks::core::LayeredSchedule) -> Counts {
+    let total = sched.total_cores;
+    let mut c = Counts::default();
+    // Use group 0 of the widest layer as "one of the disjoint groups".
+    for layer in &sched.layers {
+        let full_width = layer.num_groups() == 1 && layer.group_sizes[0] == total;
+        for (g, tasks) in layer.assignments.iter().enumerate() {
+            for &t in tasks {
+                for op in &graph.task(t).comm {
+                    let bucket = if full_width {
+                        &mut c.global
+                    } else if g == 0 {
+                        &mut c.group
+                    } else {
+                        continue;
+                    };
+                    match op.kind {
+                        CollectiveKind::Allgather => bucket.0 += op.count,
+                        CollectiveKind::Broadcast => bucket.1 += op.count,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    // Orthogonal exchanges: one aggregated exchange per layer boundary that
+    // carries orthogonal edges.
+    let mut boundaries = std::collections::HashSet::new();
+    let mut layer_of = std::collections::HashMap::new();
+    for (li, layer) in sched.layers.iter().enumerate() {
+        for t in layer.assignments.iter().flatten() {
+            layer_of.insert(*t, li);
+        }
+    }
+    for (a, b, data) in graph.edges() {
+        if data.pattern == RedistPattern::Orthogonal {
+            if let (Some(&la), Some(&lb)) = (layer_of.get(&a), layer_of.get(&b)) {
+                if la != lb {
+                    boundaries.insert(lb);
+                }
+            }
+        }
+    }
+    c.orthogonal = boundaries.len() as f64;
+    c
+}
+
+#[derive(Default, Debug)]
+struct Counts {
+    /// (Tag, Tbc) on all cores.
+    global: (f64, f64),
+    /// (Tag, Tbc) on one proper subgroup.
+    group: (f64, f64),
+    /// Aggregated orthogonal exchanges.
+    orthogonal: f64,
+}
+
+fn tp_schedule(graph: &TaskGraph, groups: usize) -> parallel_tasks::core::LayeredSchedule {
+    let spec = platforms::chic().with_cores(64);
+    let model = CostModel::new(&spec);
+    let s = LayerScheduler::new(&model).with_fixed_groups(groups).schedule(graph);
+    // Sanity: the mapping machinery accepts it.
+    let _ = MappingStrategy::Consecutive.mapping(&spec, 64);
+    s
+}
+
+#[test]
+fn epol_graph_matches_census() {
+    let r = 8;
+    let sys = Bruss2d::new(20);
+    let graph = Epol::new(r).step_graph(&sys, 1);
+    let sched = tp_schedule(&graph, r / 2);
+    let c = classify(&graph, &sched);
+    let want = census::epol(Version::TaskParallel, r);
+    // Group-based: R+1 micro-step allgathers for the group holding the
+    // paired chains i and R+1−i.
+    assert_eq!(c.group.0, want.group_tag, "{c:?}");
+    // Global: the combine broadcast.
+    assert_eq!(c.global.1, want.global_tbc, "{c:?}");
+    // No orthogonal communication in EPOL.
+    assert_eq!(c.orthogonal, 0.0, "{c:?}");
+}
+
+#[test]
+fn irk_graph_matches_census() {
+    let (k, m) = (4, 3);
+    let sys = Bruss2d::new(20);
+    let graph = Irk::new(k, m).step_graph(&sys, 1);
+    let sched = tp_schedule(&graph, k);
+    let c = classify(&graph, &sched);
+    let want = census::irk(Version::TaskParallel, k, m);
+    assert_eq!(c.group.0, want.group_tag, "{c:?}");
+    // The emitter has the init evaluation + the update as full-width tasks
+    // (census folds init into the step): 1 extra global Tag.
+    assert_eq!(c.global.0, want.global_tag + 1.0, "{c:?}");
+    assert_eq!(c.orthogonal, want.orthogonal_tag, "{c:?}");
+}
+
+#[test]
+fn pab_graph_matches_census() {
+    let k = 8;
+    let sys = Bruss2d::new(20);
+    // Two steps so the inter-step orthogonal exchange materialises; counts
+    // below are per step (halved).
+    let graph = Pab::new(k).step_graph(&sys, 2);
+    let sched = tp_schedule(&graph, k);
+    let c = classify(&graph, &sched);
+    let want = census::pab(Version::TaskParallel, k);
+    assert_eq!(c.group.0 / 2.0, want.group_tag, "{c:?}");
+    assert_eq!(c.global.0, 0.0, "{c:?}");
+    // One orthogonal exchange between the two steps.
+    assert_eq!(c.orthogonal, want.orthogonal_tag, "{c:?}");
+}
+
+#[test]
+fn pabm_graph_matches_census() {
+    let (k, m) = (8, 2);
+    let sys = Bruss2d::new(20);
+    let graph = Pabm::new(k, m).step_graph(&sys, 2);
+    let sched = tp_schedule(&graph, k);
+    let c = classify(&graph, &sched);
+    let want = census::pabm(Version::TaskParallel, k, m);
+    assert_eq!(c.group.0 / 2.0, want.group_tag, "{c:?}");
+    // Orthogonal: predictor results exchanged once per step: one boundary
+    // inside each step (predictor → first corrector sweep) plus one between
+    // the steps = 2·m-independent, i.e. 2 per-step boundaries here… the
+    // per-step count the census reports is 1.
+    assert!(
+        c.orthogonal >= want.orthogonal_tag && c.orthogonal <= 2.0 * want.orthogonal_tag + 1.0,
+        "{c:?}"
+    );
+}
+
+#[test]
+fn dp_schedules_turn_all_ops_global() {
+    // Under the data-parallel schedule every operation is executed by all
+    // cores: EPOL dp must show R(R+1)/2 global allgathers.
+    let r = 8;
+    let sys = Bruss2d::new(20);
+    let graph = Epol::new(r).step_graph(&sys, 1);
+    let sched = parallel_tasks::core::DataParallel::schedule(&graph, 64);
+    let c = classify(&graph, &sched);
+    let want = census::epol(Version::DataParallel, r);
+    assert_eq!(c.global.0, want.global_tag, "{c:?}");
+    assert_eq!(c.group.0, 0.0);
+}

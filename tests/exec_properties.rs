@@ -1,0 +1,129 @@
+//! Property tests of the shared-memory collectives: for random group
+//! sizes, block lengths and values, every collective must match its
+//! sequential definition.
+
+use proptest::prelude::*;
+use pt_exec::GroupComm;
+use std::sync::Arc;
+
+/// Run `f(rank, comm)` on `q` OS threads sharing one communicator.
+fn spmd<T: Send + 'static>(
+    q: usize,
+    f: impl Fn(usize, &GroupComm) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let comm = Arc::new(GroupComm::new(q));
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..q)
+        .map(|r| {
+            let comm = comm.clone();
+            let f = f.clone();
+            std::thread::spawn(move || f(r, &comm))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allgather_matches_concatenation(
+        q in 1usize..6,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let blocks: Vec<Vec<f64>> = (0..q)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1e6..1e6)).collect())
+            .collect();
+        let expect: Vec<f64> = blocks.concat();
+        let blocks = Arc::new(blocks);
+        let results = spmd(q, move |rank, comm| {
+            let mut dst = vec![0.0; q * len];
+            comm.allgather(rank, &blocks[rank], &mut dst);
+            dst
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn allgatherv_matches_concatenation(
+        seed in any::<u64>(),
+        q in 1usize..5,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let counts: Vec<usize> = (0..q).map(|_| rng.gen_range(0..32)).collect();
+        let blocks: Vec<Vec<f64>> = counts
+            .iter()
+            .map(|&c| (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let expect: Vec<f64> = blocks.concat();
+        let blocks = Arc::new(blocks);
+        let counts = Arc::new(counts);
+        let total: usize = counts.iter().sum();
+        let results = spmd(q, move |rank, comm| {
+            let mut dst = vec![0.0; total];
+            comm.allgatherv(rank, &blocks[rank], &counts, &mut dst);
+            dst
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_data(
+        q in 1usize..6,
+        len in 1usize..48,
+        root_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(root_seed);
+        let root = rng.gen_range(0..q);
+        let payload: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expect = payload.clone();
+        let results = spmd(q, move |rank, comm| {
+            let mut buf = if rank == root {
+                payload.clone()
+            } else {
+                vec![0.0; len]
+            };
+            comm.bcast(rank, root, &mut buf);
+            buf
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_sequential(
+        q in 1usize..6,
+        len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let inputs: Vec<Vec<f64>> = (0..q)
+            .map(|_| (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect();
+        let expect: Vec<f64> = (0..len)
+            .map(|i| (0..q).map(|r| inputs[r][i]).sum())
+            .collect();
+        let inputs = Arc::new(inputs);
+        let results = spmd(q, move |rank, comm| {
+            let mut buf = inputs[rank].clone();
+            comm.allreduce_sum(rank, &mut buf);
+            buf
+        });
+        for r in results {
+            for (got, want) in r.iter().zip(&expect) {
+                prop_assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+}

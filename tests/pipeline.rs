@@ -1,0 +1,207 @@
+//! End-to-end integration tests: specification → scheduling → mapping →
+//! simulation, asserting the qualitative shapes of the paper's evaluation.
+
+use parallel_tasks::core::{Cpa, Cpr, DataParallel, LayerScheduler, MappingStrategy};
+use parallel_tasks::cost::CostModel;
+use parallel_tasks::machine::platforms;
+use parallel_tasks::nas::{bt_mz, sp_mz, Class};
+use parallel_tasks::ode::{Bruss2d, Epol, Irk, Pabm, Schroed};
+use parallel_tasks::sim::Simulator;
+
+fn layered_time(
+    graph: &parallel_tasks::mtask::TaskGraph,
+    machine: &parallel_tasks::machine::ClusterSpec,
+    cores: usize,
+    groups: Option<usize>,
+    mapping: MappingStrategy,
+) -> f64 {
+    let spec = machine.with_cores(cores);
+    let model = CostModel::new(&spec);
+    let mut sched = LayerScheduler::new(&model);
+    if let Some(g) = groups {
+        sched = sched.with_fixed_groups(g);
+    }
+    let s = sched.schedule(graph);
+    let map = mapping.mapping(&spec, cores);
+    Simulator::new(&model).simulate_layered(graph, &s, &map).makespan
+}
+
+#[test]
+fn task_parallel_beats_data_parallel_for_pabm_dense() {
+    let sys = Schroed::new(8000);
+    let graph = Pabm::new(8, 2).step_graph(&sys, 2);
+    let chic = platforms::chic();
+    let spec = chic.with_cores(256);
+    let model = CostModel::new(&spec);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 256);
+    let sim = Simulator::new(&model);
+    let tp = LayerScheduler::new(&model).with_fixed_groups(8).schedule(&graph);
+    let dp = DataParallel::schedule(&graph, 256);
+    let t_tp = sim.simulate_layered(&graph, &tp, &map).makespan;
+    let t_dp = sim.simulate_layered(&graph, &dp, &map).makespan;
+    assert!(
+        t_tp < t_dp,
+        "PABM task parallel ({t_tp}) must beat data parallel ({t_dp}) at 256 cores"
+    );
+}
+
+#[test]
+fn consecutive_mapping_wins_for_epol_at_scale() {
+    // Fig 15 (bottom right): EPOL favours consecutive; scattered loses.
+    let sys = Bruss2d::new(250);
+    let graph = Epol::new(8).step_graph(&sys, 2);
+    let juropa = platforms::juropa();
+    let t_cons = layered_time(&graph, &juropa, 256, Some(4), MappingStrategy::Consecutive);
+    let t_scat = layered_time(&graph, &juropa, 256, Some(4), MappingStrategy::Scattered);
+    assert!(
+        t_cons < t_scat,
+        "EPOL: consecutive ({t_cons}) must beat scattered ({t_scat})"
+    );
+}
+
+#[test]
+fn cpr_matches_layer_scheduler_for_symmetric_stages() {
+    // Fig 13 (left): CPR finds the task-parallel schedule for PABM.
+    let sys = Schroed::new(8000);
+    let graph = Pabm::new(8, 2).step_graph(&sys, 2);
+    let spec = platforms::chic().with_cores(128);
+    let model = CostModel::new(&spec);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 128);
+    let sim = Simulator::new(&model);
+    let layer = LayerScheduler::new(&model).schedule(&graph);
+    let t_layer = sim.simulate_layered(&graph, &layer, &map).makespan;
+    let cpr = Cpr::new(&model).schedule(&graph);
+    let t_cpr = sim.simulate_flat(&graph, &cpr, &map).makespan;
+    let ratio = t_cpr / t_layer;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "CPR ({t_cpr}) should be close to the layer scheduler ({t_layer})"
+    );
+}
+
+#[test]
+fn cpa_falls_behind_at_high_core_counts() {
+    // Fig 13 (left): CPA's over-allocation costs it at scale.
+    let sys = Schroed::new(36_000);
+    let graph = Pabm::new(8, 2).step_graph(&sys, 2);
+    let spec = platforms::chic().with_cores(512);
+    let model = CostModel::new(&spec);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 512);
+    let sim = Simulator::new(&model);
+    let layer = LayerScheduler::new(&model).schedule(&graph);
+    let t_layer = sim.simulate_layered(&graph, &layer, &map).makespan;
+    let cpa = Cpa::new(&model).schedule(&graph);
+    let t_cpa = sim.simulate_flat(&graph, &cpa, &map).makespan;
+    assert!(
+        t_cpa > t_layer * 1.1,
+        "CPA ({t_cpa}) should trail the layer scheduler ({t_layer}) at 512 cores"
+    );
+}
+
+#[test]
+fn nas_medium_group_count_is_optimal() {
+    // Fig 17: neither g=4 nor g=zones wins; a medium count does.
+    let mz = sp_mz(Class::C);
+    let spec = platforms::chic().with_cores(256);
+    let model = CostModel::new(&spec);
+    let sim = Simulator::new(&model);
+    let graph = mz.step_graph(2);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 256);
+    let time = |g: usize| {
+        let sched = mz.blocked_schedule(2, 256, g);
+        sim.simulate_layered(&graph, &sched, &map).makespan
+    };
+    let low = time(4);
+    let mid = time(64);
+    let max = time(256);
+    assert!(mid < low, "g=64 ({mid}) must beat g=4 ({low})");
+    assert!(mid < max, "g=64 ({mid}) must beat g=256 ({max})");
+}
+
+#[test]
+fn bt_mz_suffers_load_imbalance_at_max_parallelism() {
+    let mz = bt_mz(Class::C);
+    let spec = platforms::chic().with_cores(256);
+    let model = CostModel::new(&spec);
+    let sim = Simulator::new(&model);
+    let graph = mz.step_graph(2);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 256);
+    let sched_mid = mz.blocked_schedule(2, 256, 64);
+    let sched_max = mz.blocked_schedule(2, 256, 256);
+    let rep_max = sim.simulate_layered(&graph, &sched_max, &map);
+    let t_mid = sim.simulate_layered(&graph, &sched_mid, &map).makespan;
+    assert!(rep_max.makespan > 1.5 * t_mid, "one zone per group must hurt BT-MZ");
+    // The imbalance is visible as idle time at the layer barrier.
+    assert!(rep_max.layers[0].idle_fraction() > 0.3);
+}
+
+#[test]
+fn hybrid_helps_data_parallel_irk() {
+    // Fig 18 (left): fusing each node into one process speeds up the dp
+    // version's global collectives.
+    use parallel_tasks::core::hybrid::HybridConfig;
+    let sys = Bruss2d::new(250);
+    let graph = Irk::new(4, 3).step_graph(&sys, 2);
+    let chic = platforms::chic();
+    let spec = chic.with_cores(512);
+    let model = CostModel::new(&spec);
+    let map = MappingStrategy::Consecutive.mapping(&spec, 512);
+    let dp = DataParallel::schedule(&graph, 512);
+    let pure = Simulator::new(&model).simulate_layered(&graph, &dp, &map).makespan;
+    let hybrid = Simulator::new(&model)
+        .with_hybrid(HybridConfig::per_node(&spec))
+        .simulate_layered(&graph, &dp, &map)
+        .makespan;
+    assert!(
+        hybrid < pure,
+        "hybrid dp IRK ({hybrid}) must beat pure MPI ({pure})"
+    );
+}
+
+#[test]
+fn g_sweep_picks_a_sensible_group_count_for_irk() {
+    // The scheduler's g-sweep should find a task-parallel split for the
+    // stage-vector layer (the paper's schedules use K groups).
+    let sys = Bruss2d::new(250);
+    let irk = Irk::new(4, 3);
+    let graph = irk.step_graph(&sys, 1);
+    let spec = platforms::chic().with_cores(128);
+    let model = CostModel::new(&spec);
+    let sched = LayerScheduler::new(&model).schedule(&graph);
+    // Find the widest stage layer in the schedule.
+    let max_groups = sched.layers.iter().map(|l| l.num_groups()).max().unwrap();
+    assert!(
+        max_groups > 1 && max_groups <= 4,
+        "expected 2..=4 groups for K=4 stages, got {max_groups}"
+    );
+}
+
+#[test]
+fn simulated_speedup_grows_with_cores_for_dense_system() {
+    let sys = Schroed::new(8000);
+    let graph = Pabm::new(8, 2).step_graph(&sys, 2);
+    let chic = platforms::chic();
+    let mut prev = f64::INFINITY;
+    for cores in [32usize, 64, 128, 256] {
+        let t = layered_time(&graph, &chic, cores, Some(8), MappingStrategy::Consecutive);
+        assert!(t < prev, "{cores} cores ({t}) must beat fewer cores ({prev})");
+        prev = t;
+    }
+}
+
+#[test]
+fn sequential_work_is_preserved_by_scheduling() {
+    // The schedule never duplicates or drops work.
+    let sys = Bruss2d::new(100);
+    let graph = Epol::new(6).step_graph(&sys, 2);
+    let spec = platforms::chic().with_cores(64);
+    let model = CostModel::new(&spec);
+    let sched = LayerScheduler::new(&model).schedule(&graph);
+    let scheduled_work: f64 = sched
+        .layers
+        .iter()
+        .flat_map(|l| l.assignments.iter().flatten())
+        .map(|t| graph.task(*t).work)
+        .sum();
+    assert!((scheduled_work - graph.total_work()).abs() < 1e-6);
+}
