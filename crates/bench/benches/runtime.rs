@@ -2,7 +2,7 @@
 //! collectives and a full task-parallel EPOL step on worker threads.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pt_exec::{DataStore, GroupPlan, Program, Team, TaskCtx, TaskFn};
+use pt_exec::{DataStore, GroupPlan, Program, TaskCtx, TaskFn, Team};
 use pt_ode::{Bruss2d, Epol, OdeSystem};
 use std::sync::Arc;
 
@@ -28,7 +28,7 @@ fn bench_team_allgather(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec");
     group.sample_size(20);
     group.bench_function(format!("allgather 4Ki f64 x8 ({w} workers)"), |b| {
-        b.iter(|| team.run(std::hint::black_box(&program), &store))
+        b.iter(|| team.run(std::hint::black_box(&program), &store).unwrap())
     });
     group.finish();
 }
@@ -46,7 +46,7 @@ fn bench_team_barrier(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec");
     group.sample_size(20);
     group.bench_function(format!("barrier x64 ({w} workers)"), |b| {
-        b.iter(|| team.run(std::hint::black_box(&program), &store))
+        b.iter(|| team.run(std::hint::black_box(&program), &store).unwrap())
     });
     group.finish();
 }
@@ -67,7 +67,7 @@ fn bench_epol_spmd_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec");
     group.sample_size(20);
     group.bench_function(format!("EPOL R=4 step n=4608 ({w} workers)"), |b| {
-        b.iter(|| team.run(std::hint::black_box(&program), &store))
+        b.iter(|| team.run(std::hint::black_box(&program), &store).unwrap())
     });
     group.finish();
 }

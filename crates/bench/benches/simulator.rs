@@ -16,7 +16,9 @@ fn bench_layered_sim(c: &mut Criterion) {
     for cores in [64usize, 256, 512] {
         let spec = platforms::chic().with_cores(cores);
         let model = CostModel::new(&spec);
-        let sched = LayerScheduler::new(&model).with_fixed_groups(4).schedule(&graph);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(4)
+            .schedule(&graph);
         let map = MappingStrategy::Consecutive.mapping(&spec, cores);
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
             let sim = Simulator::new(&model);

@@ -52,10 +52,7 @@ fn main() {
         let rep = sim.simulate_layered(&graph, &s, &mapping);
         rows.push((
             label.to_string(),
-            vec![
-                1e3 * rep.makespan / 2.0,
-                1e3 * rep.total_redist / 2.0,
-            ],
+            vec![1e3 * rep.makespan / 2.0, 1e3 * rep.total_redist / 2.0],
         ));
     }
     table::print(
@@ -77,9 +74,7 @@ fn main() {
     let graph_bt = mz.step_graph(2);
     let g = 32usize;
     let per = mz.zones.len() / g;
-    let assignment: Vec<Vec<usize>> = (0..g)
-        .map(|k| (k * per..(k + 1) * per).collect())
-        .collect();
+    let assignment: Vec<Vec<usize>> = (0..g).map(|k| (k * per..(k + 1) * per).collect()).collect();
     let work: Vec<f64> = assignment
         .iter()
         .map(|zs| zs.iter().map(|&z| mz.zones[z].points() as f64).sum())
@@ -117,7 +112,10 @@ fn main() {
             ),
             (
                 "equal group sizes".into(),
-                vec![1e3 * rep_eq.makespan / 2.0, rep_eq.layers[0].idle_fraction()],
+                vec![
+                    1e3 * rep_eq.makespan / 2.0,
+                    rep_eq.layers[0].idle_fraction(),
+                ],
             ),
         ],
     );

@@ -41,7 +41,10 @@ fn main() {
     }
     table::print(
         "Fig 13 (left): PABM K=8 speedups on CHiC (dense system, consecutive mapping)",
-        &cores.iter().map(|c| format!("{c} cores")).collect::<Vec<_>>(),
+        &cores
+            .iter()
+            .map(|c| format!("{c} cores"))
+            .collect::<Vec<_>>(),
         &rows,
     );
 
@@ -58,7 +61,10 @@ fn main() {
     }
     table::print(
         "Fig 13 (right): EPOL R=8 time per step [ms] on CHiC (sparse system)",
-        &cores.iter().map(|c| format!("{c} cores")).collect::<Vec<_>>(),
+        &cores
+            .iter()
+            .map(|c| format!("{c} cores"))
+            .collect::<Vec<_>>(),
         &rows,
     );
 }

@@ -43,7 +43,10 @@ fn main() {
     }
     table::print(
         "Fig 14 (left): global MPI_Allgather on 256 CHiC cores, time [ms] vs per-core size",
-        &sizes_kib.iter().map(|k| format!("{k} KiB")).collect::<Vec<_>>(),
+        &sizes_kib
+            .iter()
+            .map(|k| format!("{k} KiB"))
+            .collect::<Vec<_>>(),
         &rows,
     );
 

@@ -84,10 +84,26 @@ fn main() {
     let graph = diirk.step_graph(&sys, 2, i_dyn);
     let mut rows = Vec::new();
     for (label, sched, mapping) in [
-        ("dp consecutive", Scheduler::DataParallel, MappingStrategy::Consecutive),
-        ("tp consecutive", Scheduler::LayerFixed(4), MappingStrategy::Consecutive),
-        ("tp mixed(d=2)", Scheduler::LayerFixed(4), MappingStrategy::Mixed(2)),
-        ("tp scattered", Scheduler::LayerFixed(4), MappingStrategy::Scattered),
+        (
+            "dp consecutive",
+            Scheduler::DataParallel,
+            MappingStrategy::Consecutive,
+        ),
+        (
+            "tp consecutive",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Consecutive,
+        ),
+        (
+            "tp mixed(d=2)",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Mixed(2),
+        ),
+        (
+            "tp scattered",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Scattered,
+        ),
     ] {
         let t = 1e3 * time_per_step(&graph, &chic, 512, sched, mapping, None, 2);
         rows.push((label.to_string(), vec![t]));
@@ -103,11 +119,31 @@ fn main() {
     let graph = Epol::new(8).step_graph(&sys, 2);
     let mut rows = Vec::new();
     for (label, sched, mapping) in [
-        ("dp consecutive", Scheduler::DataParallel, MappingStrategy::Consecutive),
-        ("tp consecutive", Scheduler::LayerFixed(4), MappingStrategy::Consecutive),
-        ("tp mixed(d=2)", Scheduler::LayerFixed(4), MappingStrategy::Mixed(2)),
-        ("tp mixed(d=4)", Scheduler::LayerFixed(4), MappingStrategy::Mixed(4)),
-        ("tp scattered", Scheduler::LayerFixed(4), MappingStrategy::Scattered),
+        (
+            "dp consecutive",
+            Scheduler::DataParallel,
+            MappingStrategy::Consecutive,
+        ),
+        (
+            "tp consecutive",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Consecutive,
+        ),
+        (
+            "tp mixed(d=2)",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Mixed(2),
+        ),
+        (
+            "tp mixed(d=4)",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Mixed(4),
+        ),
+        (
+            "tp scattered",
+            Scheduler::LayerFixed(4),
+            MappingStrategy::Scattered,
+        ),
     ] {
         let t = 1e3 * time_per_step(&graph, &juropa, 512, sched, mapping, None, 2);
         rows.push((label.to_string(), vec![t]));

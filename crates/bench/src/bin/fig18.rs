@@ -68,7 +68,9 @@ fn main() {
         rows.push((label.to_string(), values));
     }
     table::print(
-        &format!("Fig 18 (right): DIIRK time per step [ms] on CHiC (I={i_dyn:.2}), pure MPI vs hybrid"),
+        &format!(
+            "Fig 18 (right): DIIRK time per step [ms] on CHiC (I={i_dyn:.2}), pure MPI vs hybrid"
+        ),
         &headers,
         &rows,
     );

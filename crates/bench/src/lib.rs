@@ -67,7 +67,9 @@ pub mod pipeline {
                 sim.simulate_layered(graph, &s, &map).makespan
             }
             Scheduler::LayerFixed(g) => {
-                let s = LayerScheduler::new(&model).with_fixed_groups(g).schedule(graph);
+                let s = LayerScheduler::new(&model)
+                    .with_fixed_groups(g)
+                    .schedule(graph);
                 sim.simulate_layered(graph, &s, &map).makespan
             }
             Scheduler::DataParallel => {

@@ -20,7 +20,10 @@
 pub fn adjust_group_sizes(work: &[f64], total: usize) -> Vec<usize> {
     let g = work.len();
     assert!(g > 0, "no groups to adjust");
-    assert!(total >= g, "cannot give {g} groups at least one of {total} cores");
+    assert!(
+        total >= g,
+        "cannot give {g} groups at least one of {total} cores"
+    );
     let sum: f64 = work.iter().sum();
     if sum <= 0.0 {
         // Degenerate: spread evenly.
@@ -65,7 +68,10 @@ pub fn adjust_group_sizes(work: &[f64], total: usize) -> Vec<usize> {
 /// Partition `total` cores into `g` near-equal parts (difference ≤ 1), the
 /// initial partition of Algorithm 1 line 6.
 pub fn equal_partition(total: usize, g: usize) -> Vec<usize> {
-    assert!(g > 0 && g <= total, "need 1 ≤ g ≤ total, got g={g}, total={total}");
+    assert!(
+        g > 0 && g <= total,
+        "need 1 ≤ g ≤ total, got g={g}, total={total}"
+    );
     let base = total / g;
     let extra = total % g;
     (0..g).map(|l| base + usize::from(l < extra)).collect()

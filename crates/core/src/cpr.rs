@@ -73,10 +73,7 @@ impl<'a> Cpr<'a> {
             };
             let bl = graph.bottom_levels(time_of);
             let tl = graph.top_levels(time_of);
-            let tcp = graph
-                .task_ids()
-                .map(|t| tl[t.0])
-                .fold(0.0f64, f64::max);
+            let tcp = graph.task_ids().map(|t| tl[t.0]).fold(0.0f64, f64::max);
             // All tasks on a critical path (tl + bl − T == TCP).
             let critical: Vec<TaskId> = graph
                 .task_ids()

@@ -74,8 +74,7 @@ impl ProcessLayout {
             match processes.last_mut() {
                 Some(p)
                     if p.threads < cfg.max_threads_per_process
-                        && (spec.shared_memory_across_nodes
-                            || spec.label(p.rep).node == node) =>
+                        && (spec.shared_memory_across_nodes || spec.label(p.rep).node == node) =>
                 {
                     p.threads += 1;
                 }

@@ -104,12 +104,7 @@ impl<'a> LayerScheduler<'a> {
         let sizes = if self.adjust && g > 1 {
             let work: Vec<f64> = assignment
                 .iter()
-                .map(|group| {
-                    group
-                        .iter()
-                        .map(|t| self.seq_time(tasks, *t))
-                        .sum::<f64>()
-                })
+                .map(|group| group.iter().map(|t| self.seq_time(tasks, *t)).sum::<f64>())
                 .collect();
             adjust_group_sizes(&work, total)
         } else {
@@ -132,11 +127,7 @@ impl<'a> LayerScheduler<'a> {
     /// decreasing symbolic time, each to the subset with the smallest
     /// accumulated time.  Returns the layer makespan `Tact` and the
     /// assignment.
-    fn assign_lpt(
-        &self,
-        tasks: &[(TaskId, &MTask)],
-        sizes: &[usize],
-    ) -> (f64, Vec<Vec<TaskId>>) {
+    fn assign_lpt(&self, tasks: &[(TaskId, &MTask)], sizes: &[usize]) -> (f64, Vec<Vec<TaskId>>) {
         let g = sizes.len();
         let mut order: Vec<usize> = (0..tasks.len()).collect();
         let times: Vec<f64> = tasks
@@ -150,9 +141,7 @@ impl<'a> LayerScheduler<'a> {
         for idx in order {
             let (task_id, m) = tasks[idx];
             // Subset with the smallest accumulated execution time.
-            let l = (0..g)
-                .min_by(|&a, &b| acc[a].total_cmp(&acc[b]))
-                .unwrap();
+            let l = (0..g).min_by(|&a, &b| acc[a].total_cmp(&acc[b])).unwrap();
             acc[l] += self.model.task_time_symbolic(m, sizes[l]);
             assignment[l].push(task_id);
         }
@@ -265,7 +254,9 @@ mod tests {
         let model = CostModel::new(&spec);
         let r = 4;
         let g = epol_step_graph(r, 1e9, 8_000.0);
-        let sched = LayerScheduler::new(&model).with_fixed_groups(r / 2).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(r / 2)
+            .schedule(&g);
         assert!(sched.validate().is_ok());
         // First layer: two groups; micro-step counts must be equal (1+4 and
         // 2+3).
@@ -335,7 +326,9 @@ mod tests {
         let g = epol_step_graph(4, 1e9, 8_000.0);
         // Force 4 groups: chains of 1..4 micro steps each in its own group
         // (Fig. 6 right).
-        let sched = LayerScheduler::new(&model).with_fixed_groups(4).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(4)
+            .schedule(&g);
         let l0 = &sched.layers[0];
         // Collect (micro steps, size) pairs and check monotonicity.
         let mut pairs: Vec<(usize, usize)> = l0
@@ -376,7 +369,9 @@ mod tests {
         for (i, w) in [5.0, 4.0, 3.0, 3.0, 2.0, 1.0].iter().enumerate() {
             g.add_task(MTask::compute(format!("t{i}"), w * 1e9));
         }
-        let sched = LayerScheduler::new(&model).with_fixed_groups(2).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(2)
+            .schedule(&g);
         let l0 = &sched.layers[0];
         let work: Vec<f64> = l0
             .assignments
@@ -402,7 +397,9 @@ mod tests {
         let spec = platforms::chic().with_nodes(4);
         let model = CostModel::new(&spec);
         let g = epol_step_graph(4, 1e8, 8_000.0);
-        let sched = LayerScheduler::new(&model).with_fixed_groups(2).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(2)
+            .schedule(&g);
         // Find the group containing step(1,4): it must contain 4 micro
         // steps of approximation 4 in ascending j order.
         let l0 = &sched.layers[0];

@@ -86,10 +86,7 @@ pub fn list_schedule(
             let d = finish[pr.0] + symbolic_redist(model, edge, src, &cores);
             data_ready = data_ready.max(d);
         }
-        let cores_ready = cores
-            .iter()
-            .map(|&c| core_free[c])
-            .fold(0.0f64, f64::max);
+        let cores_ready = cores.iter().map(|&c| core_free[c]).fold(0.0f64, f64::max);
         let start = data_ready.max(cores_ready);
         let dur = time_of(t);
         let end = start + dur;

@@ -61,10 +61,7 @@ impl<'a> LayerScheduler<'a> {
     /// Hierarchical scheduling of a compiled two-level program: schedule
     /// the upper graph on the full machine, then schedule every loop body
     /// on the cores its loop node received.
-    pub fn schedule_two_level(
-        &self,
-        prog: &pt_mtask::TwoLevelProgram,
-    ) -> TwoLevelSchedule {
+    pub fn schedule_two_level(&self, prog: &pt_mtask::TwoLevelProgram) -> TwoLevelSchedule {
         let upper = self.schedule(&prog.upper);
         let mut loops = HashMap::new();
         for (&loop_id, body) in &prog.loops {
@@ -104,8 +101,7 @@ mod tests {
 
     fn epol_like_program(r: usize) -> pt_mtask::TwoLevelProgram {
         Spec::seq(vec![
-            Spec::task(MTask::compute("init", 1e6))
-                .defines([DataRef::replicated("eta", 8e3)]),
+            Spec::task(MTask::compute("init", 1e6)).defines([DataRef::replicated("eta", 8e3)]),
             Spec::while_loop(
                 "stepping",
                 10.0,

@@ -43,9 +43,7 @@ impl<'a> CostModel<'a> {
             let na = self.spec.label(a).node;
             let nb = self.spec.label(b).node;
             let share = ctx.sharing(na).max(ctx.sharing(nb));
-            let eff_bw = link
-                .bytes_per_s
-                .min(self.spec.nic_bytes_per_s / share);
+            let eff_bw = link.bytes_per_s.min(self.spec.nic_bytes_per_s / share);
             link.latency_s + bytes / eff_bw
         } else {
             link.transfer_time(bytes)
@@ -116,7 +114,8 @@ impl<'a> CostModel<'a> {
                 let pairs: Vec<(CoreId, CoreId)> = (0..q)
                     .filter_map(|src| {
                         let dst = src + reach;
-                        ((src / reach).is_multiple_of(2) && dst < q).then(|| (cores[src], cores[dst]))
+                        ((src / reach).is_multiple_of(2) && dst < q)
+                            .then(|| (cores[src], cores[dst]))
                     })
                     .collect();
                 if !pairs.is_empty() {
@@ -167,8 +166,7 @@ impl<'a> CostModel<'a> {
         let q = cores.len();
         // All q−1 steps use the same neighbour links simultaneously; each
         // step moves one block per rank to its successor.
-        let pairs: Vec<(CoreId, CoreId)> =
-            (0..q).map(|i| (cores[i], cores[(i + 1) % q])).collect();
+        let pairs: Vec<(CoreId, CoreId)> = (0..q).map(|i| (cores[i], cores[(i + 1) % q])).collect();
         (q - 1) as f64 * self.step_time(ctx, &pairs, block)
     }
 

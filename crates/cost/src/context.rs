@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn consecutive_groups_do_not_share() {
         let spec = platforms::example_4x2x2(); // 4 nodes × 4 cores
-        // Four groups of four consecutive cores: one node each.
+                                               // Four groups of four consecutive cores: one node each.
         let groups: Vec<Vec<CoreId>> = (0..4)
             .map(|g| (0..4).map(|i| CoreId(g * 4 + i)).collect())
             .collect();

@@ -97,11 +97,7 @@ impl CostModel<'_> {
     ///
     /// Requires equal group sizes (the solvers' schedules guarantee this);
     /// groups of differing sizes fall back to the worst pairing.
-    pub fn orthogonal_exchange<G: AsRef<[CoreId]>>(
-        &self,
-        groups: &[G],
-        total_bytes: f64,
-    ) -> f64 {
+    pub fn orthogonal_exchange<G: AsRef<[CoreId]>>(&self, groups: &[G], total_bytes: f64) -> f64 {
         if groups.len() <= 1 {
             return 0.0;
         }

@@ -68,16 +68,15 @@ pub fn task_time_optimistic(model: &CostModel<'_>, task: &MTask, q: usize) -> f6
                 return 0.0;
             }
             let once = match op.kind {
-                CollectiveKind::Broadcast => rounds * link.latency_s
-                    + op.bytes / link.bytes_per_s,
-                CollectiveKind::Allgather => rounds * link.latency_s
-                    + op.bytes * (qf - 1.0) / qf / link.bytes_per_s,
-                CollectiveKind::Allreduce => rounds * link.latency_s
-                    + 2.0 * op.bytes / link.bytes_per_s,
-                CollectiveKind::Barrier => rounds * link.latency_s,
-                CollectiveKind::NeighborExchange => {
-                    2.0 * link.transfer_time(op.bytes)
+                CollectiveKind::Broadcast => rounds * link.latency_s + op.bytes / link.bytes_per_s,
+                CollectiveKind::Allgather => {
+                    rounds * link.latency_s + op.bytes * (qf - 1.0) / qf / link.bytes_per_s
                 }
+                CollectiveKind::Allreduce => {
+                    rounds * link.latency_s + 2.0 * op.bytes / link.bytes_per_s
+                }
+                CollectiveKind::Barrier => rounds * link.latency_s,
+                CollectiveKind::NeighborExchange => 2.0 * link.transfer_time(op.bytes),
             };
             once * op.count
         })
@@ -125,10 +124,7 @@ mod tests {
         let task = MTask::with_comm(
             "t",
             1e9,
-            vec![
-                CommOp::allgather(1e6, 2.0),
-                CommOp::bcast(1e5, 1.0),
-            ],
+            vec![CommOp::allgather(1e6, 2.0), CommOp::bcast(1e5, 1.0)],
         );
         for q in [2usize, 4, 8, 16, 32] {
             let sym = m.task_time_symbolic(&task, q);

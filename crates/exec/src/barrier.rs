@@ -1,0 +1,210 @@
+//! A poisonable, reusable barrier with dynamic membership.
+//!
+//! `std::sync::Barrier` has no failure path: when a participant dies, every
+//! peer blocks forever.  [`EpochBarrier`] closes that hole — it counts
+//! *epochs* (completed rounds) under a mutex/condvar pair, so it can be
+//!
+//! * **poisoned** ([`EpochBarrier::poison`]): every current and future
+//!   waiter returns `Err` instead of blocking, which is how a task panic is
+//!   propagated to the peers of a collective;
+//! * **reset** ([`EpochBarrier::reset`]) once all participants have
+//!   observed the failure, making the barrier (and the communicator built
+//!   on it) reusable for the next attempt;
+//! * **shrunk** ([`EpochBarrier::leave`]) when a participant departs for
+//!   good (permanent worker loss), releasing a round that is now complete
+//!   without the departed member.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Error returned by [`EpochBarrier::wait`] when the barrier was poisoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+#[derive(Debug)]
+struct State {
+    /// Current number of participants per round.
+    members: usize,
+    /// Participants already waiting in the current round.
+    arrived: usize,
+    /// Completed rounds; waiters block until it advances.
+    epoch: u64,
+    poisoned: bool,
+}
+
+/// See the module documentation.
+#[derive(Debug)]
+pub struct EpochBarrier {
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+impl EpochBarrier {
+    /// Barrier for `members` participants.
+    pub fn new(members: usize) -> EpochBarrier {
+        assert!(members >= 1, "barrier needs at least one member");
+        EpochBarrier {
+            state: Mutex::new(State {
+                members,
+                arrived: 0,
+                epoch: 0,
+                poisoned: false,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // The mutex is only held for bookkeeping below — a panic while it
+        // is held is impossible, but don't propagate std's lock poisoning
+        // (distinct from *our* poison flag) just in case.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until all members arrive.  Returns `Err` without blocking if
+    /// the barrier is poisoned, or as soon as it becomes poisoned while
+    /// waiting.
+    pub fn wait(&self) -> Result<(), BarrierPoisoned> {
+        let mut s = self.lock();
+        if s.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        s.arrived += 1;
+        if s.arrived >= s.members {
+            s.arrived = 0;
+            s.epoch += 1;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let epoch = s.epoch;
+        while s.epoch == epoch && !s.poisoned {
+            s = self.cvar.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.poisoned && s.epoch == epoch {
+            Err(BarrierPoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Fail every current and future [`wait`](Self::wait) until
+    /// [`reset`](Self::reset).
+    pub fn poison(&self) {
+        let mut s = self.lock();
+        s.poisoned = true;
+        self.cvar.notify_all();
+    }
+
+    /// Whether the barrier is currently poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+
+    /// Clear poison and any partial round, making the barrier usable again.
+    ///
+    /// Only sound once no thread is blocked in [`wait`](Self::wait) — in
+    /// the runtime this holds after every worker of a failed run has
+    /// reported back.
+    pub fn reset(&self) {
+        let mut s = self.lock();
+        s.poisoned = false;
+        s.arrived = 0;
+        // Advance the epoch so a stale waiter (which cannot exist under the
+        // documented protocol) would release rather than join a new round.
+        s.epoch += 1;
+        self.cvar.notify_all();
+    }
+
+    /// Permanently remove one member (worker loss).  If the current round
+    /// is complete without the departed member, it is released.
+    pub fn leave(&self) {
+        let mut s = self.lock();
+        assert!(s.members >= 1, "leave() without members");
+        s.members -= 1;
+        if s.members > 0 && s.arrived >= s.members {
+            s.arrived = 0;
+            s.epoch += 1;
+            self.cvar.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn releases_all_members() {
+        let b = Arc::new(EpochBarrier::new(4));
+        let passed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                let passed = passed.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        b.wait().unwrap();
+                    }
+                    passed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(passed.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let b = Arc::new(EpochBarrier::new(2));
+        let waiter = {
+            let b = b.clone();
+            std::thread::spawn(move || b.wait())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison();
+        assert_eq!(waiter.join().unwrap(), Err(BarrierPoisoned));
+        // Future waits fail fast until reset.
+        assert_eq!(b.wait(), Err(BarrierPoisoned));
+        b.reset();
+        assert!(!b.is_poisoned());
+    }
+
+    #[test]
+    fn reset_makes_barrier_reusable() {
+        let b = Arc::new(EpochBarrier::new(3));
+        b.poison();
+        assert!(b.wait().is_err());
+        b.reset();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let b = b.clone();
+                s.spawn(move || b.wait().unwrap());
+            }
+        });
+    }
+
+    #[test]
+    fn leave_releases_complete_round() {
+        let b = Arc::new(EpochBarrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        // Third member departs instead of arriving; the two waiters release.
+        b.leave();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Ok(()));
+        }
+        // The barrier now synchronises two members.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let b = b.clone();
+                s.spawn(move || b.wait().unwrap());
+            }
+        });
+    }
+}

@@ -10,6 +10,11 @@
 //! Group communicators are created on demand and cached in a [`CommPool`],
 //! so repeated splits (e.g. one per time step) reuse them.
 //!
+//! Failure handling follows the team runtime's contract (see
+//! [`team`](crate::team)): a panic inside a dynamically split task poisons
+//! the affected communicators, peers abort instead of hanging, and
+//! [`run_dynamic`] reports a typed [`ExecError`] instead of unwinding.
+//!
 //! ```
 //! use pt_exec::dynamic::{run_dynamic, DynCtx};
 //! use pt_exec::{DataStore, Team};
@@ -24,24 +29,36 @@
 //!             child.store.put(format!("part{part}"), vec![child.size() as f64]);
 //!         }
 //!     });
-//! }));
+//! })).unwrap();
 //! assert_eq!(store.get("part0").unwrap(), vec![3.0]);
 //! assert_eq!(store.get("part1").unwrap(), vec![1.0]);
 //! ```
 
 use crate::comm::GroupComm;
+use crate::error::ExecError;
 use crate::program::{GroupPlan, Program, TaskCtx, TaskFn};
 use crate::store::DataStore;
 use crate::team::Team;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Cache of group communicators keyed by team-index span.
 ///
 /// All members of a subgroup look up the same span; the first arrival
 /// creates the communicator, later arrivals reuse it.
+///
+/// The cache is bounded by the number of *distinct* spans a computation
+/// splits into — at most `t·(t+1)/2` for a team of `t` workers, and in
+/// practice a handful (regular splits repeat the same spans).  Irregular
+/// computations that sweep many distinct spans (e.g. a moving-window
+/// subgroup per step) can call [`CommPool::clear`] between phases to drop
+/// communicators no worker holds anymore.
 #[derive(Default)]
 pub struct CommPool {
     map: Mutex<HashMap<(usize, usize), Arc<GroupComm>>>,
@@ -56,8 +73,7 @@ impl CommPool {
     /// Communicator for the span `[start, end)` (created on first use).
     pub fn get(&self, span: Range<usize>) -> Arc<GroupComm> {
         let key = (span.start, span.end);
-        self.map
-            .lock()
+        lock(&self.map)
             .entry(key)
             .or_insert_with(|| Arc::new(GroupComm::new(span.len())))
             .clone()
@@ -65,7 +81,18 @@ impl CommPool {
 
     /// Number of cached communicators (diagnostics).
     pub fn cached(&self) -> usize {
-        self.map.lock().len()
+        lock(&self.map).len()
+    }
+
+    /// Drop every cached communicator.
+    ///
+    /// Collective in spirit: only call when no worker is inside (or about
+    /// to enter) a collective on a cached communicator — e.g. right after a
+    /// phase barrier on the root group.  Workers holding an `Arc` keep
+    /// their communicator alive; the pool merely stops handing it out, so a
+    /// later `get` of the same span creates a fresh one.
+    pub fn clear(&self) {
+        lock(&self.map).clear();
     }
 }
 
@@ -173,9 +200,20 @@ impl DynCtx<'_> {
     }
 }
 
-/// Sizes proportional to `weights`, each ≥ 1, summing to `total`.
-fn proportional_sizes(weights: &[f64], total: usize) -> Vec<usize> {
+/// Sizes proportional to `weights`, summing to `total`.
+///
+/// When `total >= weights.len()` every part gets at least one worker (the
+/// invariant [`DynCtx::split`] relies on).  With fewer workers than parts —
+/// reachable through shrink-and-continue re-planning after worker loss —
+/// the first `total` parts get one worker each and the rest get zero,
+/// instead of the subtraction underflow this used to hit.
+pub(crate) fn proportional_sizes(weights: &[f64], total: usize) -> Vec<usize> {
     let parts = weights.len();
+    if total < parts {
+        // Not enough workers for one per part: no proportionality to
+        // preserve, hand out the workers one per leading part.
+        return (0..parts).map(|p| usize::from(p < total)).collect();
+    }
     let wsum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
     let mut sizes = vec![1usize; parts];
     let mut assigned = parts;
@@ -214,7 +252,14 @@ fn proportional_sizes(weights: &[f64], total: usize) -> Vec<usize> {
 }
 
 /// Run a dynamic root task on all workers of a team.
-pub fn run_dynamic(team: &Team, store: &Arc<DataStore>, root: Arc<DynTaskFn>) {
+///
+/// Failures inside the dynamic computation (task panics, aborted
+/// collectives) surface as [`ExecError`]s, like [`Team::run`].
+pub fn run_dynamic(
+    team: &Team,
+    store: &Arc<DataStore>,
+    root: Arc<DynTaskFn>,
+) -> Result<Duration, ExecError> {
     let pool = CommPool::new();
     let size = team.size();
     let task: Arc<TaskFn> = Arc::new(move |ctx: &TaskCtx| {
@@ -228,7 +273,7 @@ pub fn run_dynamic(team: &Team, store: &Arc<DataStore>, root: Arc<DynTaskFn>) {
         root(&dctx);
     });
     let program = Program::single_layer(vec![GroupPlan::new(0..size, vec![task])]);
-    team.run(&program, store);
+    team.run(&program, store)
 }
 
 #[cfg(test)]
@@ -244,9 +289,40 @@ mod tests {
         assert_eq!(s.iter().sum::<usize>(), 4);
         assert!(s[0] >= 1);
         assert_eq!(
-            proportional_sizes(&[1.0, 2.0, 1.0], 5).iter().sum::<usize>(),
+            proportional_sizes(&[1.0, 2.0, 1.0], 5)
+                .iter()
+                .sum::<usize>(),
             5
         );
+    }
+
+    #[test]
+    fn proportional_sizes_with_fewer_workers_than_parts() {
+        // Used to underflow (`total - parts` on usize); now degrades to one
+        // worker per leading part.
+        assert_eq!(proportional_sizes(&[1.0, 1.0, 1.0], 2), vec![1, 1, 0]);
+        assert_eq!(proportional_sizes(&[5.0, 1.0], 1), vec![1, 0]);
+        assert_eq!(proportional_sizes(&[2.0, 3.0, 4.0], 0), vec![0, 0, 0]);
+        // Boundary: exactly one worker per part.
+        assert_eq!(proportional_sizes(&[9.0, 1.0, 1.0], 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn comm_pool_clear_bounds_irregular_splits() {
+        let pool = CommPool::new();
+        // A sweep of distinct spans (irregular subgrouping) grows the cache…
+        for phase in 0..10 {
+            for lo in 0..8 {
+                pool.get(lo..lo + 2 + (phase % 3));
+            }
+            assert!(pool.cached() <= 24, "bounded by distinct spans");
+            // …and clear() between phases keeps it from accumulating.
+            pool.clear();
+            assert_eq!(pool.cached(), 0);
+        }
+        // Cleared pools hand out fresh communicators for old spans.
+        let c = pool.get(0..4);
+        assert_eq!(c.size(), 4);
     }
 
     #[test]
@@ -268,7 +344,8 @@ mod tests {
             &team,
             &store,
             Arc::new(move |ctx: &DynCtx| recurse(ctx, &h)),
-        );
+        )
+        .unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 4);
     }
 
@@ -293,7 +370,8 @@ mod tests {
                 // After the split, the full group is synchronised again.
                 ctx.comm.barrier();
             }),
-        );
+        )
+        .unwrap();
         assert_eq!(store.get("part0").unwrap(), vec![4.0]); // 2:1 of 6 → 4
         assert_eq!(store.get("part1").unwrap(), vec![2.0]);
     }
@@ -317,7 +395,8 @@ mod tests {
                     probe.store(ctx.cached_comms(), Ordering::SeqCst);
                 }
             }),
-        );
+        )
+        .unwrap();
         // root + two halves = 3 communicators despite 5 split rounds.
         assert_eq!(cached.load(Ordering::SeqCst), 3);
     }
@@ -346,7 +425,8 @@ mod tests {
                     }
                 });
             }),
-        );
+        )
+        .unwrap();
         // 3 parts × 2 leaves each = 6 leaf groups.
         assert_eq!(leaves.load(Ordering::SeqCst), 6);
     }
@@ -368,7 +448,8 @@ mod tests {
                     .store
                     .read("data", |d| d[lo..hi].iter().sum::<f64>())
                     .unwrap();
-                ctx.store.put(format!("partial{}", ctx.team_rank()), vec![partial]);
+                ctx.store
+                    .put(format!("partial{}", ctx.team_rank()), vec![partial]);
                 return;
             }
             let mid = lo + (hi - lo) / 2;
@@ -394,7 +475,8 @@ mod tests {
                     ctx.store.put("total", vec![total]);
                 }
             }),
-        );
+        )
+        .unwrap();
         assert_eq!(store.get("total").unwrap(), vec![expect]);
     }
 }

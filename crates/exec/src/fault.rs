@@ -1,0 +1,141 @@
+//! Deterministic fault injection for testing the recovery machinery.
+//!
+//! A [`FaultPlan`] scripts failures at exact points of a run: "panic rank 1
+//! of the team in layer 2, but only on attempt 1", "delay rank 0 by 5 ms in
+//! layer 0", "lose worker 3 in layer 1".  The plan travels with the run
+//! (see [`RunOptions`](crate::RunOptions)) and is consulted by each worker
+//! at each layer, so injected faults are reproducible — no timing races, no
+//! environment variables.
+//!
+//! Ranks are **logical team ranks for the attempt**: position in the
+//! current roster (`0..alive_workers`), not physical worker indices.  After
+//! a worker loss the survivors are re-ranked contiguously, so a plan keyed
+//! on logical ranks stays meaningful across shrink-and-continue.
+
+use std::time::Duration;
+
+/// What an injected fault does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic before executing the layer's tasks (caught and converted to
+    /// [`ExecError::TaskPanicked`](crate::ExecError::TaskPanicked)).
+    Panic,
+    /// Sleep before executing the layer's tasks (exercises stragglers and
+    /// abort latency).
+    Delay(Duration),
+    /// Permanently remove the worker from the team (exercises
+    /// shrink-and-continue / [`ExecError::WorkerLost`](crate::ExecError::WorkerLost)).
+    Lose,
+}
+
+/// One scripted fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAction {
+    /// Layer index the fault fires in.
+    pub layer: usize,
+    /// Logical team rank the fault fires on (see module docs).
+    pub rank: usize,
+    /// Attempt the fault fires on (1-based); `None` fires on every attempt.
+    pub attempt: Option<u32>,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A scripted set of faults for one run.  Empty by default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Script a panic of `rank` in `layer` on `attempt` (1-based).
+    pub fn panic_at(mut self, layer: usize, rank: usize, attempt: u32) -> Self {
+        assert!(attempt >= 1, "attempts are 1-based");
+        self.actions.push(FaultAction {
+            layer,
+            rank,
+            attempt: Some(attempt),
+            kind: FaultKind::Panic,
+        });
+        self
+    }
+
+    /// Script a delay of `rank` in `layer` on every attempt.
+    pub fn delay(mut self, layer: usize, rank: usize, by: Duration) -> Self {
+        self.actions.push(FaultAction {
+            layer,
+            rank,
+            attempt: None,
+            kind: FaultKind::Delay(by),
+        });
+        self
+    }
+
+    /// Script the permanent loss of `rank` in `layer` on `attempt`
+    /// (1-based).
+    pub fn lose_at(mut self, layer: usize, rank: usize, attempt: u32) -> Self {
+        assert!(attempt >= 1, "attempts are 1-based");
+        self.actions.push(FaultAction {
+            layer,
+            rank,
+            attempt: Some(attempt),
+            kind: FaultKind::Lose,
+        });
+        self
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The scripted actions.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+
+    /// Faults that fire for `rank` executing `layer` on `attempt`.
+    pub(crate) fn firing(
+        &self,
+        layer: usize,
+        rank: usize,
+        attempt: u32,
+    ) -> impl Iterator<Item = &FaultKind> {
+        self.actions.iter().filter_map(move |a| {
+            let attempt_matches = a.attempt.is_none_or(|at| at == attempt);
+            (a.layer == layer && a.rank == rank && attempt_matches).then_some(&a.kind)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firing_matches_layer_rank_attempt() {
+        let plan = FaultPlan::new()
+            .panic_at(1, 0, 1)
+            .delay(1, 0, Duration::from_millis(1))
+            .lose_at(2, 3, 2);
+        let kinds: Vec<_> = plan.firing(1, 0, 1).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &FaultKind::Panic,
+                &FaultKind::Delay(Duration::from_millis(1))
+            ]
+        );
+        // Attempt 2: the one-shot panic no longer fires, the delay does.
+        let kinds: Vec<_> = plan.firing(1, 0, 2).collect();
+        assert_eq!(kinds, vec![&FaultKind::Delay(Duration::from_millis(1))]);
+        assert_eq!(plan.firing(2, 3, 2).count(), 1);
+        assert_eq!(plan.firing(2, 3, 1).count(), 0);
+        assert_eq!(plan.firing(0, 0, 1).count(), 0);
+    }
+}

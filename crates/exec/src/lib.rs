@@ -10,6 +10,13 @@
 //! [`DataStore`] of named arrays for data exchanged between groups at layer
 //! boundaries (the re-distribution operations).
 //!
+//! The runtime is fault-tolerant: collectives are abortable (a failed peer
+//! poisons the communicator instead of wedging the group), runs return
+//! typed [`ExecError`]s, and [`Team::run_with`] supports layer-granular
+//! retry with [`DataStore`] rollback plus shrink-and-continue after
+//! permanent worker loss.  See the [`team`] module docs for the contract
+//! and [`FaultPlan`] for deterministic fault injection in tests.
+//!
 //! ```
 //! use pt_exec::{Program, GroupPlan, Team, DataStore, TaskCtx};
 //! use std::sync::Arc;
@@ -27,17 +34,23 @@
 //!     }
 //! });
 //! let program = Program::single_layer(vec![GroupPlan::new(0..4, vec![task])]);
-//! team.run(&program, &store);
+//! team.run(&program, &store).unwrap();
 //! assert_eq!(store.get("out").unwrap(), vec![0.0, 10.0, 20.0, 30.0]);
 //! ```
 
+pub mod barrier;
 pub mod comm;
 pub mod dynamic;
+pub mod error;
+pub mod fault;
 pub mod program;
 pub mod store;
 pub mod team;
 
+pub use barrier::EpochBarrier;
 pub use comm::GroupComm;
+pub use error::{CollectiveAborted, ExecError};
+pub use fault::{FaultAction, FaultKind, FaultPlan};
 pub use program::{block_range, GroupPlan, Program, TaskCtx, TaskFn};
-pub use store::DataStore;
-pub use team::Team;
+pub use store::{DataStore, Snapshot};
+pub use team::{RetryPolicy, RunOptions, Team};

@@ -120,12 +120,12 @@ impl Program {
         Ok(())
     }
 
-    /// The group (and in-group rank) of worker `idx` in a layer, if any.
-    pub(crate) fn find_role(layer: &[GroupPlan], idx: usize) -> Option<(&GroupPlan, usize)> {
+    /// The group index (and in-group rank) of worker `idx` in a layer, if any.
+    pub(crate) fn find_role(layer: &[GroupPlan], idx: usize) -> Option<(usize, usize)> {
         layer
             .iter()
-            .find(|g| g.workers.contains(&idx))
-            .map(|g| (g, idx - g.workers.start))
+            .position(|g| g.workers.contains(&idx))
+            .map(|gi| (gi, idx - layer[gi].workers.start))
     }
 }
 
@@ -169,7 +169,7 @@ mod tests {
         let t: Vec<Arc<TaskFn>> = vec![];
         let layer = vec![GroupPlan::new(0..2, t.clone()), GroupPlan::new(2..5, t)];
         let (g, r) = Program::find_role(&layer, 3).unwrap();
-        assert_eq!(g.workers, 2..5);
+        assert_eq!(layer[g].workers, 2..5);
         assert_eq!(r, 1);
         assert!(Program::find_role(&layer, 7).is_none());
     }

@@ -6,15 +6,50 @@
 //! [`Team`](crate::Team) orders publications against consumption, matching
 //! the paper's rule that re-distributions complete before the consumer
 //! starts.
+//!
+//! For layer-granular recovery the store supports [`snapshot`]
+//! (deep copy of every array) and [`restore`] (roll the contents back in
+//! place, preserving the identity of surviving cells so old handles stay
+//! valid).  The [`Team`](crate::Team) takes a snapshot at the start of a
+//! layer when retries are enabled and restores it before re-running a
+//! failed layer.
+//!
+//! [`snapshot`]: DataStore::snapshot
+//! [`restore`]: DataStore::restore
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Concurrent map of named `Vec<f64>` arrays.
 #[derive(Debug, Default)]
 pub struct DataStore {
     map: RwLock<HashMap<String, Arc<RwLock<Vec<f64>>>>>,
+}
+
+/// A deep copy of a [`DataStore`]'s contents at one point in time.
+///
+/// Entries are sorted by name, so two snapshots compare equal exactly when
+/// the stores they were taken from held the same arrays.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+impl Snapshot {
+    /// Names and lengths captured (sorted by name, for inspection).
+    pub fn entries(&self) -> &[(String, Vec<f64>)] {
+        &self.entries
+    }
+}
+
+/// A task may panic while holding a cell lock; the data is plain `Vec<f64>`
+/// (no invariants can be torn), so recovery ignores std's lock poisoning.
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl DataStore {
@@ -26,9 +61,9 @@ impl DataStore {
     /// Insert or replace an array.
     pub fn put(&self, name: impl Into<String>, data: Vec<f64>) {
         let name = name.into();
-        let mut map = self.map.write();
+        let mut map = write(&self.map);
         match map.get(&name) {
-            Some(cell) => *cell.write() = data,
+            Some(cell) => *write(cell) = data,
             None => {
                 map.insert(name, Arc::new(RwLock::new(data)));
             }
@@ -37,12 +72,12 @@ impl DataStore {
 
     /// Clone an array out of the store.
     pub fn get(&self, name: &str) -> Option<Vec<f64>> {
-        self.handle(name).map(|h| h.read().clone())
+        self.handle(name).map(|h| read(&h).clone())
     }
 
     /// Shared handle to an array (create it empty if missing).
     pub fn handle(&self, name: &str) -> Option<Arc<RwLock<Vec<f64>>>> {
-        self.map.read().get(name).cloned()
+        read(&self.map).get(name).cloned()
     }
 
     /// Shared handle, creating a zero-length array if missing.
@@ -50,7 +85,7 @@ impl DataStore {
         if let Some(h) = self.handle(name) {
             return h;
         }
-        let mut map = self.map.write();
+        let mut map = write(&self.map);
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(RwLock::new(Vec::new())))
             .clone()
@@ -58,14 +93,14 @@ impl DataStore {
 
     /// Run a closure over an array under the read lock.
     pub fn read<R>(&self, name: &str, f: impl FnOnce(&[f64]) -> R) -> Option<R> {
-        self.handle(name).map(|h| f(&h.read()))
+        self.handle(name).map(|h| f(&read(&h)))
     }
 
     /// Write a contiguous block into an array (growing it if needed).
     /// Used by SPMD writers publishing disjoint owned ranges.
     pub fn write_block(&self, name: &str, offset: usize, data: &[f64]) {
         let h = self.handle_or_default(name);
-        let mut v = h.write();
+        let mut v = write(&h);
         if v.len() < offset + data.len() {
             v.resize(offset + data.len(), 0.0);
         }
@@ -74,17 +109,48 @@ impl DataStore {
 
     /// Names currently stored (sorted, for deterministic inspection).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.map.read().keys().cloned().collect();
+        let mut names: Vec<String> = read(&self.map).keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Remove an array.
     pub fn remove(&self, name: &str) -> Option<Vec<f64>> {
-        self.map
-            .write()
+        write(&self.map)
             .remove(name)
-            .map(|h| std::mem::take(&mut *h.write()))
+            .map(|h| std::mem::take(&mut *write(&h)))
+    }
+
+    /// Deep-copy the current contents (see the module docs).
+    ///
+    /// Callers must ensure no writer is concurrently mutating the store if
+    /// they need a consistent cut — the [`Team`](crate::Team) snapshots
+    /// between layer barriers, where no task is running.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = read(&self.map);
+        let mut entries: Vec<(String, Vec<f64>)> = map
+            .iter()
+            .map(|(name, cell)| (name.clone(), read(cell).clone()))
+            .collect();
+        drop(map);
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+
+    /// Roll the store back to `snap`: arrays present in the snapshot are
+    /// overwritten **in place** (existing handles keep observing the cell),
+    /// arrays created since are removed.
+    pub fn restore(&self, snap: &Snapshot) {
+        let mut map = write(&self.map);
+        map.retain(|name, _| snap.entries.iter().any(|(n, _)| n == name));
+        for (name, data) in &snap.entries {
+            match map.get(name) {
+                Some(cell) => *write(cell) = data.clone(),
+                None => {
+                    map.insert(name.clone(), Arc::new(RwLock::new(data.clone())));
+                }
+            }
+        }
     }
 }
 
@@ -107,7 +173,7 @@ mod tests {
         let h = s.handle("a").unwrap();
         s.put("a", vec![2.0, 3.0]);
         // Old handles observe the replacement (same cell).
-        assert_eq!(*h.read(), vec![2.0, 3.0]);
+        assert_eq!(*h.read().unwrap(), vec![2.0, 3.0]);
     }
 
     #[test]
@@ -145,5 +211,48 @@ mod tests {
         assert_eq!(s.names(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(s.remove("a"), Some(vec![1.0]));
         assert_eq!(s.get("a"), None);
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back() {
+        let s = DataStore::new();
+        s.put("a", vec![1.0]);
+        s.put("b", vec![2.0]);
+        let snap = s.snapshot();
+
+        // Mutate existing, add new, remove one.
+        s.put("a", vec![9.0, 9.0]);
+        s.put("c", vec![3.0]);
+        s.remove("b");
+
+        s.restore(&snap);
+        assert_eq!(s.get("a"), Some(vec![1.0]));
+        assert_eq!(s.get("b"), Some(vec![2.0]));
+        assert_eq!(s.get("c"), None);
+        assert_eq!(s.snapshot(), snap);
+    }
+
+    #[test]
+    fn restore_preserves_cell_identity() {
+        let s = DataStore::new();
+        s.put("a", vec![1.0]);
+        let h = s.handle("a").unwrap();
+        let snap = s.snapshot();
+        s.put("a", vec![5.0]);
+        s.restore(&snap);
+        // The pre-restore handle sees the rolled-back contents.
+        assert_eq!(*h.read().unwrap(), vec![1.0]);
+        assert!(Arc::ptr_eq(&h, &s.handle("a").unwrap()));
+    }
+
+    #[test]
+    fn snapshots_compare_by_content() {
+        let s1 = DataStore::new();
+        let s2 = DataStore::new();
+        s1.put("x", vec![1.0]);
+        s2.put("x", vec![1.0]);
+        assert_eq!(s1.snapshot(), s2.snapshot());
+        s2.put("x", vec![2.0]);
+        assert_ne!(s1.snapshot(), s2.snapshot());
     }
 }

@@ -1,14 +1,169 @@
-//! The worker-thread team executing M-task programs.
+//! The worker-thread team executing M-task programs, with fault tolerance.
+//!
+//! # Failure semantics
+//!
+//! Running a [`Program`] returns `Result<Duration, ExecError>`.  A panic in
+//! a task body no longer brings the run down by unwinding into the caller
+//! (and no longer risks wedging peers inside a group collective, the old
+//! caveat): the failing worker records the failure, its group communicator
+//! is poisoned so peers blocked in a collective unwind with a
+//! [`CollectiveAborted`] sentinel, every worker re-joins the team barrier
+//! at the layer boundary, and the run reports a typed
+//! [`ExecError::TaskPanicked`] in bounded time.  The team and the caller's
+//! program remain usable for subsequent runs.
+//!
+//! # Layer-granular recovery
+//!
+//! With a [`RetryPolicy`] of more than one attempt
+//! ([`Team::run_with`]), the team snapshots the [`DataStore`] at each layer
+//! boundary, rolls it back when a layer fails, and re-executes from the
+//! failed layer — later layers never re-run, earlier layers are never
+//! repeated.  On *permanent* worker loss the remaining layers are re-planned
+//! onto the survivors (M-tasks are moldable: group sizes shrink
+//! proportionally; if fewer survivors than groups remain, a layer's groups
+//! are merged and their tasks serialised), implementing
+//! shrink-and-continue.
+//!
+//! Deterministic fault injection for tests is available through
+//! [`RunOptions::faults`] (see [`FaultPlan`]).
 
-use crate::program::Program;
-use crate::store::DataStore;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crate::barrier::EpochBarrier;
+use crate::error::{CollectiveAborted, ExecError};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::program::{GroupPlan, Program, TaskCtx, TaskFn};
+use crate::store::{DataStore, Snapshot};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+/// How often (and how patiently) a failed layer is retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per layer (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n + 1`, doubled per retry of the same layer.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `n` attempts per layer, no backoff.
+    pub fn attempts(n: u32) -> RetryPolicy {
+        assert!(n >= 1, "at least one attempt is required");
+        RetryPolicy {
+            max_attempts: n,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Set the base backoff (doubled per retry of the same layer).
+    pub fn with_backoff(mut self, base: Duration) -> RetryPolicy {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Backoff after `failed_attempt` (1-based) of a layer.
+    fn backoff(&self, failed_attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1u32 << (failed_attempt - 1).min(16))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// Per-run execution options for [`Team::run_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Retry policy (default: no retries).
+    pub retry: RetryPolicy,
+    /// Scripted faults for testing (default: none).
+    pub faults: FaultPlan,
+}
+
 enum Msg {
-    Run(Arc<Program>, Arc<DataStore>),
+    Run(Arc<RunRequest>),
     Shutdown,
+}
+
+struct RunRequest {
+    program: Arc<Program>,
+    store: Arc<DataStore>,
+    shared: Arc<RunShared>,
+}
+
+/// First failure of a run attempt (first writer wins).
+enum Failure {
+    Panic {
+        layer: usize,
+        group: usize,
+        payload: String,
+    },
+    /// A collective aborted without an attributable task panic (e.g. a
+    /// communicator poisoned from outside the runtime).
+    Abort {
+        layer: usize,
+        group: usize,
+    },
+    Lost {
+        layer: usize,
+        worker: usize,
+    },
+}
+
+/// State shared by the workers of one run attempt.
+struct RunShared {
+    /// Layer barrier for this attempt's roster.
+    barrier: EpochBarrier,
+    /// Physical worker indices participating, in logical-rank order.
+    roster: Vec<usize>,
+    /// First layer to execute (later attempts resume mid-program).
+    start_layer: usize,
+    /// Attempt number for `start_layer` (later layers are attempt 1).
+    attempt: u32,
+    /// Whether layer snapshots are taken (retries enabled).
+    snapshots: bool,
+    faults: FaultPlan,
+    failure: Mutex<Option<Failure>>,
+    /// Snapshot taken at the start of the most recent layer.
+    snapshot: Mutex<Option<Snapshot>>,
+}
+
+struct WorkerReport {
+    worker: usize,
+    /// The worker left the team permanently (its thread exited).
+    lost: bool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn record_failure(shared: &RunShared, failure: Failure) {
+    let mut slot = lock(&shared.failure);
+    if slot.is_none() {
+        *slot = Some(failure);
+    }
+}
+
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<opaque panic payload>".to_string()
+    }
 }
 
 /// A persistent team of worker threads.
@@ -18,12 +173,14 @@ enum Msg {
 /// index (SPMD, using the group's communicator) and joins the team-wide
 /// barrier at every layer boundary, which implements the paper's
 /// layer-by-layer execution with re-distribution visibility through the
-/// shared [`DataStore`].
+/// shared [`DataStore`].  See the module docs for the failure semantics.
 pub struct Team {
     size: usize,
-    senders: Vec<Sender<Msg>>,
-    done_rx: Receiver<std::thread::Result<()>>,
+    senders: Vec<SyncSender<Msg>>,
+    done_rx: Receiver<WorkerReport>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Physical indices of workers still alive, in logical-rank order.
+    alive: Mutex<Vec<usize>>,
 }
 
 impl std::fmt::Debug for Team {
@@ -36,19 +193,17 @@ impl Team {
     /// Spawn a team of `size` workers.
     pub fn new(size: usize) -> Team {
         assert!(size >= 1, "team needs at least one worker");
-        let layer_barrier = Arc::new(Barrier::new(size));
-        let (done_tx, done_rx) = bounded(size);
+        let (done_tx, done_rx) = sync_channel(size);
         let mut senders = Vec::with_capacity(size);
         let mut handles = Vec::with_capacity(size);
         for idx in 0..size {
-            let (tx, rx) = bounded::<Msg>(1);
+            let (tx, rx) = sync_channel::<Msg>(1);
             senders.push(tx);
-            let barrier = layer_barrier.clone();
             let done = done_tx.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("pt-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, rx, barrier, done))
+                    .spawn(move || worker_loop(idx, rx, done))
                     .expect("spawn worker"),
             );
         }
@@ -57,45 +212,189 @@ impl Team {
             senders,
             done_rx,
             handles,
+            alive: Mutex::new((0..size).collect()),
         }
     }
 
-    /// Number of workers.
+    /// Number of workers the team was spawned with.
     pub fn size(&self) -> usize {
         self.size
     }
 
-    /// Execute a program to completion; returns the wall-clock duration.
-    ///
-    /// # Panics
-    /// Panics if the program needs more workers than the team has, if its
-    /// groups overlap, or if a task body panicked.
-    pub fn run(&self, program: &Program, store: &Arc<DataStore>) -> Duration {
-        assert!(
-            program.required_workers() <= self.size,
-            "program needs {} workers, team has {}",
-            program.required_workers(),
-            self.size
-        );
-        program.validate().expect("invalid program");
-        let program = Arc::new(program.clone());
-        let start = Instant::now();
-        for tx in &self.senders {
-            tx.send(Msg::Run(program.clone(), store.clone()))
-                .expect("worker alive");
-        }
-        for _ in 0..self.size {
-            if let Err(panic) = self.done_rx.recv().expect("worker alive") {
-                std::panic::resume_unwind(panic);
-            }
-        }
-        start.elapsed()
+    /// Number of workers still alive (equals [`size`](Self::size) unless
+    /// workers were permanently lost).
+    pub fn alive_workers(&self) -> usize {
+        lock(&self.alive).len()
     }
+
+    /// Execute a program to completion; returns the wall-clock duration.
+    /// Equivalent to [`run_with`](Self::run_with) with default options (no
+    /// retries, no fault injection).
+    pub fn run(&self, program: &Program, store: &Arc<DataStore>) -> Result<Duration, ExecError> {
+        self.run_with(program, store, &RunOptions::default())
+    }
+
+    /// Execute a program under explicit [`RunOptions`].
+    ///
+    /// Recoverable conditions — invalid programs, task panics, aborted
+    /// collectives, worker loss — surface as [`ExecError`]s; the team and
+    /// the caller's program remain usable afterwards.
+    pub fn run_with(
+        &self,
+        program: &Program,
+        store: &Arc<DataStore>,
+        opts: &RunOptions,
+    ) -> Result<Duration, ExecError> {
+        program.validate().map_err(ExecError::InvalidProgram)?;
+        let snapshots = opts.retry.max_attempts > 1;
+        let mut program = Arc::new(program.clone());
+        let mut start_layer = 0usize;
+        let mut attempt = 1u32;
+        let start = Instant::now();
+        loop {
+            let roster = lock(&self.alive).clone();
+            if program.required_workers() > roster.len() {
+                return Err(ExecError::InvalidProgram(format!(
+                    "program needs {} workers, team has {} alive",
+                    program.required_workers(),
+                    roster.len()
+                )));
+            }
+            let shared = Arc::new(RunShared {
+                barrier: EpochBarrier::new(roster.len()),
+                roster: roster.clone(),
+                start_layer,
+                attempt,
+                snapshots,
+                faults: opts.faults.clone(),
+                failure: Mutex::new(None),
+                snapshot: Mutex::new(None),
+            });
+            let req = Arc::new(RunRequest {
+                program: program.clone(),
+                store: store.clone(),
+                shared: shared.clone(),
+            });
+            for &w in &roster {
+                self.senders[w]
+                    .send(Msg::Run(req.clone()))
+                    .expect("worker alive");
+            }
+            let mut any_lost = false;
+            for _ in 0..roster.len() {
+                let report = self.done_rx.recv().expect("worker reports completion");
+                if report.lost {
+                    any_lost = true;
+                    lock(&self.alive).retain(|&w| w != report.worker);
+                }
+            }
+            // All workers are out of the run: communicators can be reset so
+            // the caller's program (which shares them) stays reusable.
+            let failure = lock(&shared.failure).take();
+            if failure.is_some() {
+                for group in program.layers.iter().flatten() {
+                    group.comm.reset();
+                }
+            }
+            let Some(failure) = failure else {
+                debug_assert!(!any_lost, "worker loss must record a failure");
+                return Ok(start.elapsed());
+            };
+            let (layer, err) = match &failure {
+                Failure::Panic {
+                    layer,
+                    group,
+                    payload,
+                } => (
+                    *layer,
+                    ExecError::TaskPanicked {
+                        layer: *layer,
+                        group: *group,
+                        payload: payload.clone(),
+                    },
+                ),
+                Failure::Abort { layer, group } => (
+                    *layer,
+                    ExecError::CollectiveAborted {
+                        layer: *layer,
+                        group: *group,
+                    },
+                ),
+                Failure::Lost { layer, worker } => (
+                    *layer,
+                    ExecError::WorkerLost {
+                        layer: *layer,
+                        worker: *worker,
+                    },
+                ),
+            };
+            let cur_attempt = if layer == start_layer { attempt } else { 1 };
+            if !snapshots || cur_attempt >= opts.retry.max_attempts {
+                return Err(err);
+            }
+            let Some(snap) = lock(&shared.snapshot).take() else {
+                return Err(err);
+            };
+            if any_lost {
+                let survivors = lock(&self.alive).len();
+                if survivors == 0 {
+                    return Err(err);
+                }
+                // Shrink-and-continue: remaining layers move onto the
+                // survivors (the whole program is re-planned to keep layer
+                // indices and `required_workers` consistent; completed
+                // layers never re-run).
+                program = Arc::new(replan(&program, survivors));
+            }
+            store.restore(&snap);
+            let backoff = opts.retry.backoff(cur_attempt);
+            if backoff > Duration::ZERO {
+                std::thread::sleep(backoff);
+            }
+            start_layer = layer;
+            attempt = cur_attempt + 1;
+        }
+    }
+}
+
+/// Re-plan a program onto `n` workers: each layer's groups shrink
+/// proportionally to their original sizes; if a layer has more groups than
+/// workers remain, its groups are merged into one and their tasks run in
+/// sequence (M-tasks are moldable, so task bodies adapt via
+/// `ctx.rank`/`ctx.size`).
+fn replan(program: &Program, n: usize) -> Program {
+    assert!(n >= 1, "cannot re-plan onto zero workers");
+    let mut p = program.clone();
+    for layer in &mut p.layers {
+        if layer.is_empty() {
+            continue;
+        }
+        if layer.len() <= n {
+            let weights: Vec<f64> = layer.iter().map(|g| g.workers.len() as f64).collect();
+            let sizes = crate::dynamic::proportional_sizes(&weights, n);
+            let mut lo = 0usize;
+            *layer = layer
+                .iter()
+                .zip(sizes)
+                .map(|(g, s)| {
+                    let plan = GroupPlan::new(lo..lo + s, g.tasks.clone());
+                    lo += s;
+                    plan
+                })
+                .collect();
+        } else {
+            let tasks: Vec<Arc<TaskFn>> =
+                layer.iter().flat_map(|g| g.tasks.iter().cloned()).collect();
+            *layer = vec![GroupPlan::new(0..n, tasks)];
+        }
+    }
+    p
 }
 
 impl Drop for Team {
     fn drop(&mut self) {
         for tx in &self.senders {
+            // Lost workers have exited; sending to them just fails.
             let _ = tx.send(Msg::Shutdown);
         }
         for h in self.handles.drain(..) {
@@ -104,44 +403,122 @@ impl Drop for Team {
     }
 }
 
-fn worker_loop(
-    idx: usize,
-    rx: Receiver<Msg>,
-    layer_barrier: Arc<Barrier>,
-    done: Sender<std::thread::Result<()>>,
-) {
-    while let Ok(Msg::Run(program, store)) = rx.recv() {
-        // A panic in a task body must not desynchronise the team barriers:
-        // the worker records the panic, skips its remaining tasks, but keeps
-        // joining every layer barrier.  (A panic *inside* a group collective
-        // can still wedge that group's peers — collectives assume all ranks
-        // arrive — which is the same contract MPI imposes.)
-        let mut outcome: std::thread::Result<()> = Ok(());
-        for layer in &program.layers {
-            if outcome.is_ok() {
-                if let Some((group, rank)) = Program::find_role(layer, idx) {
-                    let ctx = crate::program::TaskCtx {
-                        rank,
-                        size: group.workers.len(),
-                        comm: &group.comm,
-                        store: &store,
-                    };
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        for task in &group.tasks {
-                            task(&ctx);
-                        }
-                    }));
-                    if let Err(e) = r {
-                        outcome = Err(e);
+fn worker_loop(idx: usize, rx: Receiver<Msg>, done: SyncSender<WorkerReport>) {
+    while let Ok(Msg::Run(req)) = rx.recv() {
+        let lost = run_layers(idx, &req);
+        let _ = done.send(WorkerReport { worker: idx, lost });
+        if lost {
+            // Permanent loss: the thread exits and never rejoins the team.
+            return;
+        }
+    }
+}
+
+/// One worker's side of a run attempt.  Returns `true` if the worker was
+/// (injected as) permanently lost.
+fn run_layers(idx: usize, req: &RunRequest) -> bool {
+    let sh = &req.shared;
+    let me = sh
+        .roster
+        .iter()
+        .position(|&w| w == idx)
+        .expect("worker is in the roster");
+    for (layer_idx, layer) in req.program.layers.iter().enumerate().skip(sh.start_layer) {
+        let attempt = if layer_idx == sh.start_layer {
+            sh.attempt
+        } else {
+            1
+        };
+        // Logical rank 0 snapshots the store before anyone starts the
+        // layer; the entry barrier publishes the snapshot and guarantees no
+        // task of this layer has run yet.
+        if sh.snapshots && me == 0 {
+            *lock(&sh.snapshot) = Some(req.store.snapshot());
+        }
+        if sh.barrier.wait().is_err() {
+            return false;
+        }
+        let mut inject_panic = false;
+        for kind in sh.faults.firing(layer_idx, me, attempt) {
+            match kind {
+                FaultKind::Delay(d) => std::thread::sleep(*d),
+                FaultKind::Panic => inject_panic = true,
+                FaultKind::Lose => {
+                    // Record first, then poison, then shrink the barrier:
+                    // peers that unwind or arrive afterwards must observe
+                    // the failure.
+                    record_failure(
+                        sh,
+                        Failure::Lost {
+                            layer: layer_idx,
+                            worker: idx,
+                        },
+                    );
+                    if let Some((gi, _)) = Program::find_role(layer, me) {
+                        layer[gi].comm.poison();
                     }
+                    sh.barrier.leave();
+                    return true;
                 }
             }
-            // Layer barrier: re-distributions (DataStore writes) become
-            // visible to every group before the next layer starts.
-            layer_barrier.wait();
         }
-        let _ = done.send(outcome);
+        if let Some((gi, rank)) = Program::find_role(layer, me) {
+            let group = &layer[gi];
+            let ctx = TaskCtx {
+                rank,
+                size: group.workers.len(),
+                comm: &group.comm,
+                store: &req.store,
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject_panic {
+                    // resume_unwind skips the panic hook: injected faults
+                    // are expected control flow, not bug reports.
+                    std::panic::resume_unwind(Box::new(format!(
+                        "injected panic (layer {layer_idx}, rank {me}, attempt {attempt})"
+                    )));
+                }
+                for task in &group.tasks {
+                    task(&ctx);
+                }
+            }));
+            if let Err(payload) = result {
+                if payload.downcast_ref::<CollectiveAborted>().is_some() {
+                    // Victim of a peer failure.  The culprit records before
+                    // poisoning, so this only sticks when the communicator
+                    // was poisoned from outside the runtime.
+                    record_failure(
+                        sh,
+                        Failure::Abort {
+                            layer: layer_idx,
+                            group: gi,
+                        },
+                    );
+                } else {
+                    record_failure(
+                        sh,
+                        Failure::Panic {
+                            layer: layer_idx,
+                            group: gi,
+                            payload: payload_text(payload.as_ref()),
+                        },
+                    );
+                    // Unblock group peers waiting in a collective for us.
+                    group.comm.poison();
+                }
+            }
+        }
+        // Layer barrier: re-distributions (DataStore writes) become visible
+        // to every group before the next layer starts — and every worker
+        // observes a failure of this layer at the same point.
+        if sh.barrier.wait().is_err() {
+            return false;
+        }
+        if lock(&sh.failure).is_some() {
+            return false;
+        }
     }
+    false
 }
 
 #[cfg(test)]
@@ -179,7 +556,7 @@ mod tests {
             GroupPlan::new(2..4, vec![make("sum1")]),
         ]);
         program.push_layer(vec![GroupPlan::new(0..4, vec![combine])]);
-        team.run(&program, &store);
+        team.run(&program, &store).unwrap();
         assert_eq!(store.get("total").unwrap(), vec![6.0]); // (1+2) + (1+2)
     }
 
@@ -193,7 +570,7 @@ mod tests {
             c.fetch_add(1, Ordering::SeqCst);
         });
         let program = Program::single_layer(vec![GroupPlan::new(0..8, vec![task])]);
-        team.run(&program, &store);
+        team.run(&program, &store).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 8);
     }
 
@@ -219,7 +596,7 @@ mod tests {
             ctx.comm.barrier();
         });
         let program = Program::single_layer(vec![GroupPlan::new(0..2, vec![t1, t2])]);
-        team.run(&program, &store);
+        team.run(&program, &store).unwrap();
         assert_eq!(store.get("log").unwrap(), vec![1.0, 2.0]);
     }
 
@@ -234,7 +611,7 @@ mod tests {
                 }
             });
             let program = Program::single_layer(vec![GroupPlan::new(0..3, vec![task])]);
-            team.run(&program, &store);
+            team.run(&program, &store).unwrap();
             assert_eq!(store.get("round").unwrap(), vec![round as f64]);
         }
     }
@@ -253,17 +630,69 @@ mod tests {
             }
         });
         let program = Program::single_layer(vec![GroupPlan::new(0..2, vec![task])]);
-        team.run(&program, &store);
+        team.run(&program, &store).unwrap();
         assert_eq!(store.get("n").unwrap(), vec![2.0]);
     }
 
     #[test]
-    #[should_panic(expected = "program needs")]
-    fn oversized_program_rejected() {
+    fn oversized_program_rejected_as_error() {
         let team = Team::new(2);
         let store = DataStore::new();
         let t: Vec<Arc<TaskFn>> = vec![];
         let program = Program::single_layer(vec![GroupPlan::new(0..4, t)]);
-        team.run(&program, &store);
+        match team.run(&program, &store) {
+            Err(ExecError::InvalidProgram(msg)) => {
+                assert!(msg.contains("program needs"), "got: {msg}")
+            }
+            other => panic!("expected InvalidProgram, got {other:?}"),
+        }
+        // The rejection left the team fully usable.
+        let ok = Program::single_layer(vec![GroupPlan::new(0..2, vec![])]);
+        team.run(&ok, &store).unwrap();
+    }
+
+    #[test]
+    fn overlapping_groups_rejected_as_error() {
+        let team = Team::new(4);
+        let store = DataStore::new();
+        let t: Vec<Arc<TaskFn>> = vec![];
+        let program = Program::single_layer(vec![
+            GroupPlan::new(0..2, t.clone()),
+            GroupPlan::new(1..3, t),
+        ]);
+        assert!(matches!(
+            team.run(&program, &store),
+            Err(ExecError::InvalidProgram(_))
+        ));
+    }
+
+    #[test]
+    fn replan_shrinks_groups_proportionally() {
+        let t: Vec<Arc<TaskFn>> = vec![];
+        let mut program = Program::single_layer(vec![
+            GroupPlan::new(0..4, t.clone()),
+            GroupPlan::new(4..8, t.clone()),
+        ]);
+        program.push_layer(vec![GroupPlan::new(0..8, t.clone())]);
+        let shrunk = replan(&program, 6);
+        assert_eq!(shrunk.required_workers(), 6);
+        let sizes: Vec<usize> = shrunk.layers[0].iter().map(|g| g.workers.len()).collect();
+        assert_eq!(sizes, vec![3, 3]);
+        assert!(shrunk.validate().is_ok());
+    }
+
+    #[test]
+    fn replan_merges_when_fewer_workers_than_groups() {
+        let t: Vec<Arc<TaskFn>> = vec![Arc::new(|_: &TaskCtx| {})];
+        let program = Program::single_layer(vec![
+            GroupPlan::new(0..1, t.clone()),
+            GroupPlan::new(1..2, t.clone()),
+            GroupPlan::new(2..3, t.clone()),
+        ]);
+        let shrunk = replan(&program, 2);
+        assert_eq!(shrunk.layers[0].len(), 1);
+        assert_eq!(shrunk.layers[0][0].workers, 0..2);
+        // Tasks of all three groups now run in sequence on the merged group.
+        assert_eq!(shrunk.layers[0][0].tasks.len(), 3);
     }
 }

@@ -307,10 +307,38 @@ mod tests {
     fn label_layout_is_consecutive() {
         let c = toy();
         // Core 0..4 on node 0, 4..8 on node 1, ...
-        assert_eq!(c.label(CoreId(0)), CoreLabel { node: 0, processor: 0, core: 0 });
-        assert_eq!(c.label(CoreId(1)), CoreLabel { node: 0, processor: 0, core: 1 });
-        assert_eq!(c.label(CoreId(2)), CoreLabel { node: 0, processor: 1, core: 0 });
-        assert_eq!(c.label(CoreId(5)), CoreLabel { node: 1, processor: 0, core: 1 });
+        assert_eq!(
+            c.label(CoreId(0)),
+            CoreLabel {
+                node: 0,
+                processor: 0,
+                core: 0
+            }
+        );
+        assert_eq!(
+            c.label(CoreId(1)),
+            CoreLabel {
+                node: 0,
+                processor: 0,
+                core: 1
+            }
+        );
+        assert_eq!(
+            c.label(CoreId(2)),
+            CoreLabel {
+                node: 0,
+                processor: 1,
+                core: 0
+            }
+        );
+        assert_eq!(
+            c.label(CoreId(5)),
+            CoreLabel {
+                node: 1,
+                processor: 0,
+                core: 1
+            }
+        );
     }
 
     #[test]

@@ -164,8 +164,7 @@ mod tests {
         for spec in [chic(), altix(), juropa()] {
             let probe = 1024.0 * 1024.0;
             assert!(
-                spec.intra_processor.transfer_time(probe)
-                    < spec.intra_node.transfer_time(probe),
+                spec.intra_processor.transfer_time(probe) < spec.intra_node.transfer_time(probe),
                 "{}: processor link not faster than node link",
                 spec.name
             );

@@ -13,7 +13,10 @@ pub enum ArchNode {
     /// Root: the entire machine/partition `A`, with one child per node.
     Machine(Vec<ArchNode>),
     /// A compute node `N<id>`, with one child per processor.
-    Node { id: usize, processors: Vec<ArchNode> },
+    Node {
+        id: usize,
+        processors: Vec<ArchNode>,
+    },
     /// A processor `P<id>`, with one child per core.
     Processor { id: usize, cores: Vec<ArchNode> },
     /// A leaf core `C` with its global [`CoreId`].
@@ -50,9 +53,7 @@ impl ArchNode {
     pub fn leaf_count(&self) -> usize {
         match self {
             ArchNode::Machine(children) => children.iter().map(ArchNode::leaf_count).sum(),
-            ArchNode::Node { processors, .. } => {
-                processors.iter().map(ArchNode::leaf_count).sum()
-            }
+            ArchNode::Node { processors, .. } => processors.iter().map(ArchNode::leaf_count).sum(),
             ArchNode::Processor { cores, .. } => cores.len(),
             ArchNode::Core { .. } => 1,
         }
@@ -94,7 +95,9 @@ impl ArchNode {
         match self {
             ArchNode::Machine(children) => {
                 let _ = writeln!(out, "{pad}A ({})", spec.name);
-                children.iter().for_each(|c| c.render_into(spec, depth + 1, out));
+                children
+                    .iter()
+                    .for_each(|c| c.render_into(spec, depth + 1, out));
             }
             ArchNode::Node { id, processors } => {
                 let _ = writeln!(out, "{pad}N{id}");
@@ -104,7 +107,9 @@ impl ArchNode {
             }
             ArchNode::Processor { id, cores } => {
                 let _ = writeln!(out, "{pad}P{id}");
-                cores.iter().for_each(|c| c.render_into(spec, depth + 1, out));
+                cores
+                    .iter()
+                    .for_each(|c| c.render_into(spec, depth + 1, out));
             }
             ArchNode::Core { global, .. } => {
                 let _ = writeln!(out, "{pad}C {}", spec.label(*global));

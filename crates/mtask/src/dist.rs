@@ -53,8 +53,7 @@ impl Distribution {
                     vec![]
                 }
             }
-            Distribution::Cyclic => Distribution::BlockCyclic { block: 1 }
-                .intervals(len, rank, q),
+            Distribution::Cyclic => Distribution::BlockCyclic { block: 1 }.intervals(len, rank, q),
             Distribution::BlockCyclic { block } => {
                 assert!(block >= 1, "block size must be positive");
                 let mut out = Vec::new();
@@ -290,8 +289,7 @@ mod tests {
 
     #[test]
     fn replicated_source_sends_from_lowest_rank_only() {
-        let vol =
-            redistribution_volumes(10, Distribution::Replicated, 3, Distribution::Block, 2);
+        let vol = redistribution_volumes(10, Distribution::Replicated, 3, Distribution::Block, 2);
         // Source rank 0 covers everything; others send nothing.
         assert_eq!(vol[0].iter().sum::<usize>(), 10);
         assert_eq!(vol[1].iter().sum::<usize>(), 0);

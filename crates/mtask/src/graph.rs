@@ -98,23 +98,18 @@ pub struct TaskGraph {
 
 mod edge_map_serde {
     use super::EdgeData;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::collections::HashMap;
 
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<(usize, usize), EdgeData>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize(map: &HashMap<(usize, usize), EdgeData>) -> Value {
         let mut entries: Vec<(usize, usize, EdgeData)> =
             map.iter().map(|(&(a, b), d)| (a, b, *d)).collect();
         entries.sort_by_key(|e| (e.0, e.1));
-        entries.serialize(s)
+        entries.serialize()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<(usize, usize), EdgeData>, D::Error> {
-        let entries = Vec::<(usize, usize, EdgeData)>::deserialize(d)?;
+    pub fn deserialize(v: &Value) -> Result<HashMap<(usize, usize), EdgeData>, Error> {
+        let entries = Vec::<(usize, usize, EdgeData)>::deserialize(v)?;
         Ok(entries.into_iter().map(|(a, b, e)| ((a, b), e)).collect())
     }
 }
@@ -248,10 +243,8 @@ impl TaskGraph {
     /// construction, so this always succeeds.
     pub fn topo_order(&self) -> Vec<TaskId> {
         let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
-        let mut queue: std::collections::VecDeque<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.0] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<TaskId> =
+            self.task_ids().filter(|t| indeg[t.0] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -268,12 +261,16 @@ impl TaskGraph {
 
     /// Source nodes (no predecessors).
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.preds[t.0].is_empty()).collect()
+        self.task_ids()
+            .filter(|t| self.preds[t.0].is_empty())
+            .collect()
     }
 
     /// Sink nodes (no successors).
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.succs[t.0].is_empty()).collect()
+        self.task_ids()
+            .filter(|t| self.succs[t.0].is_empty())
+            .collect()
     }
 
     /// Total sequential work of all tasks.

@@ -23,10 +23,7 @@ pub fn layers(graph: &TaskGraph) -> Vec<Vec<TaskId>> {
 /// structure).
 pub fn layers_with(graph: &TaskGraph, skip: impl Fn(TaskId) -> bool) -> Vec<Vec<TaskId>> {
     let mut indeg: Vec<usize> = graph.task_ids().map(|t| graph.preds(t).len()).collect();
-    let mut current: Vec<TaskId> = graph
-        .task_ids()
-        .filter(|t| indeg[t.0] == 0)
-        .collect();
+    let mut current: Vec<TaskId> = graph.task_ids().filter(|t| indeg[t.0] == 0).collect();
     let mut out = Vec::new();
     while !current.is_empty() {
         let mut next = Vec::new();
@@ -88,7 +85,10 @@ mod tests {
         for layer in layers(&g) {
             for (i, &a) in layer.iter().enumerate() {
                 for &b in &layer[i + 1..] {
-                    assert!(g.independent(a, b), "{a:?} and {b:?} share a layer but depend");
+                    assert!(
+                        g.independent(a, b),
+                        "{a:?} and {b:?} share a layer but depend"
+                    );
                 }
             }
         }

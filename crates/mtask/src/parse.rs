@@ -228,15 +228,20 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     line,
                 });
             }
-            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '<' | '>' | '+' | '-'
-            | '.' | '*' => {
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '=' | '<' | '>' | '+' | '-' | '.'
+            | '*' => {
                 chars.next();
                 out.push(Token {
                     tok: Tok::Punct(c),
                     line,
                 });
             }
-            other => return Err(ParseError::new(format!("unexpected character `{other}`"), line)),
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    line,
+                ))
+            }
         }
     }
     Ok(out)
@@ -391,13 +396,10 @@ impl Parser<'_> {
         }
         self.expect_punct(')')?;
         self.expect_punct(';')?;
-        let task = self
-            .registry
-            .build(&name, &args)
-            .map_err(|mut e| {
-                e.line = self.line();
-                e
-            })?;
+        let task = self.registry.build(&name, &args).map_err(|mut e| {
+            e.line = self.line();
+            e
+        })?;
         Ok(Spec::Task(task))
     }
 
@@ -716,7 +718,11 @@ cmmain M(x : vector : in : replic) {
         let mut reg = TaskRegistry::new();
         reg.register("t", |args: &[Arg]| SpecTask {
             task: MTask::compute(
-                format!("t{}_{}", args[0].as_int().unwrap(), args[1].as_int().unwrap()),
+                format!(
+                    "t{}_{}",
+                    args[0].as_int().unwrap(),
+                    args[1].as_int().unwrap()
+                ),
                 1.0,
             ),
             uses: vec![],

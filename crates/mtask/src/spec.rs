@@ -143,19 +143,13 @@ impl Spec {
 
     /// `for (i = range) { f(i) }` — loop *with* dependencies between
     /// iterations, eagerly unrolled into a `seq`.
-    pub fn for_loop(
-        range: impl IntoIterator<Item = usize>,
-        f: impl FnMut(usize) -> Spec,
-    ) -> Spec {
+    pub fn for_loop(range: impl IntoIterator<Item = usize>, f: impl FnMut(usize) -> Spec) -> Spec {
         Spec::Seq(range.into_iter().map(f).collect())
     }
 
     /// `parfor (i = range) { f(i) }` — loop *without* dependencies between
     /// iterations, eagerly unrolled into a `par`.
-    pub fn parfor(
-        range: impl IntoIterator<Item = usize>,
-        f: impl FnMut(usize) -> Spec,
-    ) -> Spec {
+    pub fn parfor(range: impl IntoIterator<Item = usize>, f: impl FnMut(usize) -> Spec) -> Spec {
         Spec::Par(range.into_iter().map(f).collect())
     }
 

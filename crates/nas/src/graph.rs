@@ -19,7 +19,11 @@ impl MultiZone {
         MTask::with_comm(
             format!("zone{zone}@s{step}"),
             z.points() as f64 * self.flops_per_point,
-            vec![CommOp::new(CollectiveKind::NeighborExchange, plane_bytes, 15.0)],
+            vec![CommOp::new(
+                CollectiveKind::NeighborExchange,
+                plane_bytes,
+                15.0,
+            )],
         )
     }
 
@@ -129,11 +133,7 @@ impl MultiZone {
                 group_sizes: sizes.clone(),
                 assignments: assignment
                     .iter()
-                    .map(|zs| {
-                        zs.iter()
-                            .map(|&id| pt_mtask::TaskId(s * z + id))
-                            .collect()
-                    })
+                    .map(|zs| zs.iter().map(|&id| pt_mtask::TaskId(s * z + id)).collect())
                     .collect(),
             })
             .collect();

@@ -227,9 +227,18 @@ mod tests {
     #[test]
     fn tp_always_needs_fewer_global_ops() {
         for (dp, tp) in [
-            (epol(Version::DataParallel, 8), epol(Version::TaskParallel, 8)),
-            (irk(Version::DataParallel, 4, 3), irk(Version::TaskParallel, 4, 3)),
-            (pabm(Version::DataParallel, 8, 2), pabm(Version::TaskParallel, 8, 2)),
+            (
+                epol(Version::DataParallel, 8),
+                epol(Version::TaskParallel, 8),
+            ),
+            (
+                irk(Version::DataParallel, 4, 3),
+                irk(Version::TaskParallel, 4, 3),
+            ),
+            (
+                pabm(Version::DataParallel, 8, 2),
+                pabm(Version::TaskParallel, 8, 2),
+            ),
         ] {
             assert!(tp.global_tag + tp.global_tbc < dp.global_tag + dp.global_tbc);
         }

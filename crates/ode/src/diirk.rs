@@ -96,8 +96,7 @@ impl Diirk {
                 // rhs = y + h Σ a_kl F_l^{(j-1)} − hγ F_k^{(j-1)}
                 let rhs: Vec<f64> = (0..n)
                     .map(|i| {
-                        let acc: f64 =
-                            (0..k).map(|l| tb.a(kk, l) * f_prev[l][i]).sum();
+                        let acc: f64 = (0..k).map(|l| tb.a(kk, l) * f_prev[l][i]).sum();
                         y[i] + h * acc - h * gamma * f_prev[kk][i]
                     })
                     .collect();
@@ -163,9 +162,9 @@ impl Diirk {
         // Total pivot broadcasts per stage across all sweeps: (n−1)·I;
         // distribute evenly over the m sweep layers.
         let bcast_per_sweep = (n - 1.0) * avg_inner / m as f64;
-        let stage_work =
-            (sys.eval_flops() + sys.implicit_solve_flops()) * avg_inner.max(1.0) / m as f64
-                + 2.0 * k as f64 * n;
+        let stage_work = (sys.eval_flops() + sys.implicit_solve_flops()) * avg_inner.max(1.0)
+            / m as f64
+            + 2.0 * k as f64 * n;
         let body = Spec::seq(vec![
             Spec::task(MTask::with_comm(
                 "init_f",
@@ -236,8 +235,7 @@ impl Diirk {
             let write = j % 2;
             let mut layer = Vec::new();
             for (gi, range) in groups.iter().enumerate() {
-                let stages: Vec<usize> =
-                    (1..=k).filter(|s| (s - 1) % groups.len() == gi).collect();
+                let stages: Vec<usize> = (1..=k).filter(|s| (s - 1) % groups.len() == gi).collect();
                 let sys = sys.clone();
                 let tb = self.tableau.clone();
                 let tol = self.inner_tol;
@@ -256,8 +254,7 @@ impl Diirk {
                         let gamma = tb.a(kk, kk);
                         let rhs: Vec<f64> = (0..n)
                             .map(|i| {
-                                let acc: f64 =
-                                    (0..tb.s).map(|l| tb.a(kk, l) * f_prev[l][i]).sum();
+                                let acc: f64 = (0..tb.s).map(|l| tb.a(kk, l) * f_prev[l][i]).sum();
                                 eta[i] + h * acc - h * gamma * f_prev[kk][i]
                             })
                             .collect();
@@ -467,7 +464,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         let program = d.build_program(&sys, &[0..2, 2..4], counter.clone());
         for _ in 0..2 {
-            team.run(&program, &store);
+            team.run(&program, &store).unwrap();
         }
         let eta = store.get("eta").unwrap();
         assert!(max_err(&eta, &seq) < 1e-11, "err {}", max_err(&eta, &seq));

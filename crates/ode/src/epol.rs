@@ -43,9 +43,7 @@ impl Epol {
     ) -> (Vec<f64>, f64) {
         let r = self.r;
         // Approximations: table[i] = (i+1) Euler micro steps.
-        let mut table: Vec<Vec<f64>> = (1..=r)
-            .map(|i| euler_chain(sys, t, y, h, i))
-            .collect();
+        let mut table: Vec<Vec<f64>> = (1..=r).map(|i| euler_chain(sys, t, y, h, i)).collect();
         // Aitken–Neville towards h → 0 (order-1 base method → expansion in
         // h, nodes h_i = h/(i+1)); the embedded error estimate is the
         // difference between the last two diagonal entries.
@@ -133,10 +131,8 @@ impl Epol {
         let vec_bytes = 8.0 * n;
         let micro_work = n * (2.0 + sys.flops_per_component());
         Spec::seq(vec![
-            Spec::task(MTask::compute("init_step", 2.0)).defines([
-                DataRef::replicated("t", 8.0),
-                DataRef::replicated("h", 8.0),
-            ]),
+            Spec::task(MTask::compute("init_step", 2.0))
+                .defines([DataRef::replicated("t", 8.0), DataRef::replicated("h", 8.0)]),
             Spec::while_loop(
                 "time_stepping",
                 est_steps,
@@ -281,11 +277,12 @@ impl Epol {
         groups: &[Range<usize>],
         store: &Arc<DataStore>,
         steps: usize,
-    ) {
+    ) -> Result<(), pt_exec::ExecError> {
         let program = self.build_program(sys, groups);
         for _ in 0..steps {
-            team.run(&program, store);
+            team.run(&program, store)?;
         }
+        Ok(())
     }
 }
 
@@ -329,7 +326,8 @@ fn euler_chain_spmd(
             next_local[k] = cur[idx] + micro * local[k];
         }
         let mut full = vec![0.0; n];
-        ctx.comm.allgatherv(ctx.rank, &next_local, &counts, &mut full);
+        ctx.comm
+            .allgatherv(ctx.rank, &next_local, &counts, &mut full);
         cur = full;
     }
     cur
@@ -443,7 +441,7 @@ mod tests {
         store.put("t", vec![0.0]);
         store.put("h", vec![h]);
         store.put("eta", y0);
-        e.run_spmd(&team, &sys, &[0..2, 2..4], &store, 3);
+        e.run_spmd(&team, &sys, &[0..2, 2..4], &store, 3).unwrap();
         let eta = store.get("eta").unwrap();
         assert!(
             max_err(&eta, &seq) < 1e-12,
@@ -470,7 +468,9 @@ mod tests {
         store.put("t", vec![0.0]);
         store.put("h", vec![0.01]);
         store.put("eta", y0);
-        Epol::new(3).run_spmd(&team, &sys, &[0..3], &store, 2);
+        Epol::new(3)
+            .run_spmd(&team, &sys, &[0..3], &store, 2)
+            .unwrap();
         let eta = store.get("eta").unwrap();
         assert!(max_err(&eta, &exact_seq) < 1e-12);
     }

@@ -196,8 +196,7 @@ impl Irk {
                             }
                             y_stage[i] = eta[i] + h * acc;
                         }
-                        let fk =
-                            eval_distributed(ctx, sys.as_ref(), t + tb.c[kk] * h, &y_stage);
+                        let fk = eval_distributed(ctx, sys.as_ref(), t + tb.c[kk] * h, &y_stage);
                         if ctx.rank == 0 {
                             ctx.store.put(format!("F{stage}_{write}"), fk);
                         }
@@ -248,11 +247,12 @@ impl Irk {
         groups: &[Range<usize>],
         store: &Arc<DataStore>,
         steps: usize,
-    ) {
+    ) -> Result<(), pt_exec::ExecError> {
         let program = self.build_program(sys, groups);
         for _ in 0..steps {
-            team.run(&program, store);
+            team.run(&program, store)?;
         }
+        Ok(())
     }
 }
 
@@ -344,7 +344,8 @@ mod tests {
         store.put("t", vec![0.0]);
         store.put("h", vec![h]);
         store.put("eta", y0);
-        irk.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 2);
+        irk.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 2)
+            .unwrap();
         let eta = store.get("eta").unwrap();
         assert!(max_err(&eta, &seq) < 1e-12, "err {}", max_err(&eta, &seq));
     }
@@ -362,7 +363,7 @@ mod tests {
         store.put("t", vec![0.0]);
         store.put("h", vec![h]);
         store.put("eta", y0);
-        irk.run_spmd(&team, &sys, &[0..3], &store, 1);
+        irk.run_spmd(&team, &sys, &[0..3], &store, 1).unwrap();
         assert!(max_err(&store.get("eta").unwrap(), &seq) < 1e-12);
     }
 }

@@ -151,11 +151,12 @@ impl Pab {
         groups: &[Range<usize>],
         store: &Arc<DataStore>,
         steps: usize,
-    ) {
+    ) -> Result<(), pt_exec::ExecError> {
         let program = self.build_program(sys, groups);
         for _ in 0..steps {
-            team.run(&program, store);
+            team.run(&program, store)?;
         }
+        Ok(())
     }
 }
 
@@ -416,7 +417,10 @@ mod tests {
         let (t2, y2) = pab.integrate(&sys, 0.0, &[1.0], 1.0, 0.05);
         let e1 = max_err(&y1, &sys.exact(&[1.0], t1));
         let e2 = max_err(&y2, &sys.exact(&[1.0], t2));
-        assert!(e2 < e1 / 3.0, "halving H should cut the error: {e1} vs {e2}");
+        assert!(
+            e2 < e1 / 3.0,
+            "halving H should cut the error: {e1} vs {e2}"
+        );
     }
 
     #[test]
@@ -447,7 +451,8 @@ mod tests {
         let team = Team::new(4);
         let store = DataStore::new();
         state_to_store(&st0, &store);
-        pab.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 3);
+        pab.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 3)
+            .unwrap();
         let result = store_to_state(&store, 4);
         assert!((result.t - seq.t).abs() < 1e-12);
         assert!(

@@ -137,11 +137,12 @@ impl Pabm {
         groups: &[Range<usize>],
         store: &Arc<DataStore>,
         steps: usize,
-    ) {
+    ) -> Result<(), pt_exec::ExecError> {
         let program = self.build_program(sys, groups);
         for _ in 0..steps {
-            team.run(&program, store);
+            team.run(&program, store)?;
         }
+        Ok(())
     }
 }
 
@@ -217,7 +218,8 @@ mod tests {
         let team = Team::new(4);
         let store = DataStore::new();
         state_to_store(&st0, &store);
-        pabm.run_spmd(&team, &sys, &[0..2, 2..4], &store, 2);
+        pabm.run_spmd(&team, &sys, &[0..2, 2..4], &store, 2)
+            .unwrap();
         let result = store_to_state(&store, 4);
         assert!(
             max_err(&result.y, &seq.y) < 1e-12,

@@ -27,9 +27,7 @@ pub fn rk4_step(sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut Vec<f6
     sys.eval(t + h, &tmp, &mut k4);
 
     out.clear();
-    out.extend(
-        (0..n).map(|i| y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i])),
-    );
+    out.extend((0..n).map(|i| y[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i])));
 }
 
 /// Integrate from `t0` to `t_end` with fixed step `h` (the last step is

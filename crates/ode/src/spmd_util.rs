@@ -19,12 +19,7 @@ pub fn gather_blocks(ctx: &TaskCtx, n: usize, local: &[f64]) -> Vec<f64> {
 
 /// Evaluate `sys` on this rank's block of the state `y` at time `t` and
 /// return the assembled full derivative vector.
-pub fn eval_distributed(
-    ctx: &TaskCtx,
-    sys: &dyn crate::OdeSystem,
-    t: f64,
-    y: &[f64],
-) -> Vec<f64> {
+pub fn eval_distributed(ctx: &TaskCtx, sys: &dyn crate::OdeSystem, t: f64, y: &[f64]) -> Vec<f64> {
     let n = sys.dim();
     let range = ctx.block_range(n);
     let mut local = vec![0.0; range.len()];

@@ -28,10 +28,7 @@ impl Tableau {
 /// The `s`-stage Gauss–Legendre collocation method (order `2s`), the
 /// classic corrector of the iterated RK (IRK/DIIRK) solvers.
 pub fn gauss(s: usize) -> Tableau {
-    let c: Vec<f64> = legendre_roots(s)
-        .iter()
-        .map(|x| 0.5 * (x + 1.0))
-        .collect();
+    let c: Vec<f64> = legendre_roots(s).iter().map(|x| 0.5 * (x + 1.0)).collect();
     let b = lagrange_integrals(&c, 1.0);
     let mut a = vec![0.0; s * s];
     for i in 0..s {
@@ -125,9 +122,7 @@ mod tests {
             let approx: f64 = (0..k).map(|j| ab.w_corr[i][j] * poly(ab.c[j])).sum();
             let exact = poly_int(ab.c[i]);
             assert!((approx - exact).abs() < 1e-10, "corr i={i}");
-            let approx_p: f64 = (0..k)
-                .map(|j| ab.w_pred[i][j] * poly(ab.c[j] - 1.0))
-                .sum();
+            let approx_p: f64 = (0..k).map(|j| ab.w_pred[i][j] * poly(ab.c[j] - 1.0)).sum();
             assert!((approx_p - exact).abs() < 1e-10, "pred i={i}");
         }
     }

@@ -72,14 +72,16 @@ impl Simulator<'_> {
                         }
                         let (os, of) = (other.start, other.finish);
                         if os < my_f && my_s < of {
-                            concurrent.push(mapping.map(
-                                &sched
-                                    .entries
-                                    .iter()
-                                    .find(|e| e.task == other.task)
-                                    .expect("entry exists")
-                                    .cores,
-                            ));
+                            concurrent.push(
+                                mapping.map(
+                                    &sched
+                                        .entries
+                                        .iter()
+                                        .find(|e| e.task == other.task)
+                                        .expect("entry exists")
+                                        .cores,
+                                ),
+                            );
                         }
                     }
                     CommContext::from_groups(spec, &concurrent)

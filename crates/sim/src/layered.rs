@@ -163,8 +163,7 @@ impl Simulator<'_> {
                             }
                         }
                         _ => {
-                            group_incoming +=
-                                self.model.redist_time(ctx, &edge, src, dst);
+                            group_incoming += self.model.redist_time(ctx, &edge, src, dst);
                         }
                     }
                 }
@@ -179,12 +178,12 @@ impl Simulator<'_> {
             // Participants: all producer groups plus consumer groups
             // (deduplicated by identical core sets).
             let mut participants: Vec<std::rc::Rc<Vec<CoreId>>> = Vec::new();
-            let push_unique = |g: &std::rc::Rc<Vec<CoreId>>,
-                                   participants: &mut Vec<std::rc::Rc<Vec<CoreId>>>| {
-                if !participants.iter().any(|x| x.as_slice() == g.as_slice()) {
-                    participants.push(g.clone());
-                }
-            };
+            let push_unique =
+                |g: &std::rc::Rc<Vec<CoreId>>, participants: &mut Vec<std::rc::Rc<Vec<CoreId>>>| {
+                    if !participants.iter().any(|x| x.as_slice() == g.as_slice()) {
+                        participants.push(g.clone());
+                    }
+                };
             for (src, _) in ortho_sources.values() {
                 push_unique(src, &mut participants);
             }
@@ -234,15 +233,15 @@ mod tests {
         // one datum from a foreign group.
         let g = Spec::seq(vec![
             Spec::par(vec![
-                Spec::task(MTask::compute("p0", 1e9))
-                    .defines([DataRef::replicated("A", 1e6)]),
-                Spec::task(MTask::compute("p1", 1e9))
-                    .defines([DataRef::replicated("B", 1e6)]),
+                Spec::task(MTask::compute("p0", 1e9)).defines([DataRef::replicated("A", 1e6)]),
+                Spec::task(MTask::compute("p1", 1e9)).defines([DataRef::replicated("B", 1e6)]),
             ]),
             Spec::task(MTask::compute("c", 1e9)).uses(["A", "B"]),
         ])
         .compile_flat();
-        let sched = LayerScheduler::new(&model).with_fixed_groups(2).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(2)
+            .schedule(&g);
         let mapping = MappingStrategy::Consecutive.mapping(&spec, 16);
         let rep = sim.simulate_layered(&g, &sched, &mapping);
         assert!(
@@ -260,7 +259,9 @@ mod tests {
         for i in 0..8 {
             g.add_task(MTask::compute(format!("t{i}"), 1e9));
         }
-        let sched = LayerScheduler::new(&model).with_fixed_groups(8).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(8)
+            .schedule(&g);
         let mut times = Vec::new();
         for s in MappingStrategy::all_for(&spec) {
             let mapping = s.mapping(&spec, 32);
@@ -295,7 +296,9 @@ mod tests {
             }),
         ])
         .compile_flat();
-        let sched = LayerScheduler::new(&model).with_fixed_groups(k).schedule(&g);
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(k)
+            .schedule(&g);
         let m_cons = MappingStrategy::Consecutive.mapping(&spec, 32);
         let m_scat = MappingStrategy::Scattered.mapping(&spec, 32);
         let t_cons = sim.simulate_layered(&g, &sched, &m_cons);

@@ -90,7 +90,9 @@ mod tests {
         let g = stage_graph(4, 2e10, 8e6);
         let mapping = MappingStrategy::Consecutive.mapping(&spec, 128);
 
-        let tp = LayerScheduler::new(&model).with_fixed_groups(4).schedule(&g);
+        let tp = LayerScheduler::new(&model)
+            .with_fixed_groups(4)
+            .schedule(&g);
         let dp = DataParallel::schedule(&g, 128);
         let t_tp = sim.simulate_layered(&g, &tp, &mapping).makespan;
         let t_dp = sim.simulate_layered(&g, &dp, &mapping).makespan;
@@ -106,7 +108,9 @@ mod tests {
         let model = CostModel::new(&spec);
         let sim = Simulator::new(&model);
         let g = stage_graph(4, 1e9, 8e6);
-        let tp = LayerScheduler::new(&model).with_fixed_groups(4).schedule(&g);
+        let tp = LayerScheduler::new(&model)
+            .with_fixed_groups(4)
+            .schedule(&g);
         let m_cons = MappingStrategy::Consecutive.mapping(&spec, 128);
         let m_scat = MappingStrategy::Scattered.mapping(&spec, 128);
         let t_cons = sim.simulate_layered(&g, &tp, &m_cons).makespan;

@@ -65,8 +65,7 @@ mod tests {
     fn loop_iterations_dominate_the_makespan() {
         let iters = 25.0;
         let prog = Spec::seq(vec![
-            Spec::task(MTask::compute("init", 1e6))
-                .defines([DataRef::replicated("eta", 8e3)]),
+            Spec::task(MTask::compute("init", 1e6)).defines([DataRef::replicated("eta", 8e3)]),
             Spec::while_loop(
                 "stepping",
                 iters,
@@ -114,14 +113,12 @@ mod tests {
             Spec::while_loop(
                 "loop_a",
                 5.0,
-                Spec::task(MTask::compute("a", 1e9))
-                    .defines([DataRef::replicated("x", 8.0)]),
+                Spec::task(MTask::compute("a", 1e9)).defines([DataRef::replicated("x", 8.0)]),
             ),
             Spec::while_loop(
                 "loop_b",
                 5.0,
-                Spec::task(MTask::compute("b", 1e9))
-                    .defines([DataRef::replicated("y", 8.0)]),
+                Spec::task(MTask::compute("b", 1e9)).defines([DataRef::replicated("y", 8.0)]),
             ),
         ])
         .compile();

@@ -16,23 +16,28 @@ use parallel_tasks::machine::{platforms, CoreId};
 fn main() {
     // --- The sequences of Fig. 9–11 on the 4-node example platform -------
     let fig = platforms::example_4x2x2();
-    println!("Physical core sequences on {} (labels nid.pid.cid):", fig.name);
+    println!(
+        "Physical core sequences on {} (labels nid.pid.cid):",
+        fig.name
+    );
     for s in [
         MappingStrategy::Consecutive,
         MappingStrategy::Scattered,
         MappingStrategy::Mixed(2),
     ] {
         let seq = s.core_sequence(&fig);
-        let labels: Vec<String> = seq.iter().take(8).map(|&c| fig.label(c).to_string()).collect();
+        let labels: Vec<String> = seq
+            .iter()
+            .take(8)
+            .map(|&c| fig.label(c).to_string())
+            .collect();
         println!("  {:<12} {} ...", s.name(), labels.join(" "));
     }
 
     // --- Communication costs per strategy on the evaluation platforms ----
     for machine in [platforms::chic(), platforms::altix(), platforms::juropa()] {
         let cores = 128.min(machine.total_cores());
-        let spec = machine.with_cores(
-            cores / machine.cores_per_node() * machine.cores_per_node(),
-        );
+        let spec = machine.with_cores(cores / machine.cores_per_node() * machine.cores_per_node());
         let model = CostModel::new(&spec);
         let ctx = CommContext::uniform(&spec);
         let bytes = 1 << 21; // 2 MiB gathered

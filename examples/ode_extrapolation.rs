@@ -53,7 +53,7 @@ fn main() {
     // R/2 = 2 groups (the schedule of the paper's Fig. 6, middle).
     let groups = [0..workers / 2, workers / 2..workers];
     let t0 = Instant::now();
-    epol.run_spmd(&team, &sys, &groups, &store, steps);
+    epol.run_spmd(&team, &sys, &groups, &store, steps).unwrap();
     let par_time = t0.elapsed();
     let eta = store.get("eta").expect("eta");
     println!(
@@ -67,14 +67,8 @@ fn main() {
     );
 
     // --- Adaptive step-size control (paper §2.2.3) ------------------------
-    let (_, accepted) = epol.integrate_adaptive(
-        &sys_concrete,
-        0.0,
-        &y0,
-        steps as f64 * h,
-        h / 4.0,
-        1e-8,
-    );
+    let (_, accepted) =
+        epol.integrate_adaptive(&sys_concrete, 0.0, &y0, steps as f64 * h, h / 4.0, 1e-8);
     println!(
         "adaptive   : same interval integrated with error control in {accepted} accepted steps"
     );

@@ -54,8 +54,7 @@ fn main() {
             .iter()
             .zip(&layer.group_sizes)
             .map(|(tasks, size)| {
-                let names: Vec<&str> =
-                    tasks.iter().map(|t| graph.task(*t).name.as_str()).collect();
+                let names: Vec<&str> = tasks.iter().map(|t| graph.task(*t).name.as_str()).collect();
                 format!("{size} cores <- {}", names.join(", "))
             })
             .collect();
@@ -91,8 +90,5 @@ fn main() {
     let mapping = MappingStrategy::Consecutive.mapping(&spec, spec.total_cores());
     let report = sim.simulate_layered(&graph, &schedule, &mapping);
     println!("\nSimulated timeline (consecutive mapping):");
-    print!(
-        "{}",
-        parallel_tasks::sim::render_gantt(&report, &graph, 48)
-    );
+    print!("{}", parallel_tasks::sim::render_gantt(&report, &graph, 48));
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6e054628616a262c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6e054628616a262c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

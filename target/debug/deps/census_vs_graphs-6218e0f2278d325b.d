@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/census_vs_graphs-6218e0f2278d325b.d: tests/census_vs_graphs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcensus_vs_graphs-6218e0f2278d325b.rmeta: tests/census_vs_graphs.rs Cargo.toml
+
+tests/census_vs_graphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

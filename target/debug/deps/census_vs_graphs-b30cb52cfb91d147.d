@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/census_vs_graphs-b30cb52cfb91d147.d: tests/census_vs_graphs.rs
+
+/root/repo/target/debug/deps/census_vs_graphs-b30cb52cfb91d147: tests/census_vs_graphs.rs
+
+tests/census_vs_graphs.rs:

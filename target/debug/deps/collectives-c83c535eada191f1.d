@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-c83c535eada191f1.d: crates/bench/benches/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-c83c535eada191f1.rmeta: crates/bench/benches/collectives.rs Cargo.toml
+
+crates/bench/benches/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

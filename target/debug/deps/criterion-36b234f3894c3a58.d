@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-36b234f3894c3a58.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-36b234f3894c3a58.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-3d1abd3f35a0b2e1.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-3d1abd3f35a0b2e1: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-eca0cc8732a62ede.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-eca0cc8732a62ede.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-eca0cc8732a62ede.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_properties-5f9042f6cfa216bc.d: tests/exec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_properties-5f9042f6cfa216bc.rmeta: tests/exec_properties.rs Cargo.toml
+
+tests/exec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_properties-88fddf1e3d131b33.d: tests/exec_properties.rs
+
+/root/repo/target/debug/deps/exec_properties-88fddf1e3d131b33: tests/exec_properties.rs
+
+tests/exec_properties.rs:

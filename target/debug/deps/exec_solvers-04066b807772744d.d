@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_solvers-04066b807772744d.d: tests/exec_solvers.rs
+
+/root/repo/target/debug/deps/exec_solvers-04066b807772744d: tests/exec_solvers.rs
+
+tests/exec_solvers.rs:

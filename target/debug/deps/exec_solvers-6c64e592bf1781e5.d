@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_solvers-6c64e592bf1781e5.d: tests/exec_solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_solvers-6c64e592bf1781e5.rmeta: tests/exec_solvers.rs Cargo.toml
+
+tests/exec_solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

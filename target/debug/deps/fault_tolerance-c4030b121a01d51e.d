@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-c4030b121a01d51e.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-c4030b121a01d51e: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-831f42aefe627f10.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-831f42aefe627f10: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

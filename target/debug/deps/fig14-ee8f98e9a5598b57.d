@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-ee8f98e9a5598b57.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-ee8f98e9a5598b57: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-cd66856d41b5b898.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-cd66856d41b5b898: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

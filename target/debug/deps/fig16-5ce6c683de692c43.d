@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-5ce6c683de692c43.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-5ce6c683de692c43: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-6bbc6314df3bc0d3.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-6bbc6314df3bc0d3: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18-bf97b39664682a7c.d: crates/bench/src/bin/fig18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18-bf97b39664682a7c.rmeta: crates/bench/src/bin/fig18.rs Cargo.toml
+
+crates/bench/src/bin/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-dc6f2216696a5f07.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-dc6f2216696a5f07: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

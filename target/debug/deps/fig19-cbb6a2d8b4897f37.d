@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-cbb6a2d8b4897f37.d: crates/bench/src/bin/fig19.rs
+
+/root/repo/target/debug/deps/fig19-cbb6a2d8b4897f37: crates/bench/src/bin/fig19.rs
+
+crates/bench/src/bin/fig19.rs:

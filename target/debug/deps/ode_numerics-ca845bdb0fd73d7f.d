@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ode_numerics-ca845bdb0fd73d7f.d: crates/bench/benches/ode_numerics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libode_numerics-ca845bdb0fd73d7f.rmeta: crates/bench/benches/ode_numerics.rs Cargo.toml
+
+crates/bench/benches/ode_numerics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

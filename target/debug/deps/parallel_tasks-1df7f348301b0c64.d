@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parallel_tasks-1df7f348301b0c64.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparallel_tasks-1df7f348301b0c64.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparallel_tasks-1df7f348301b0c64.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_tasks-1e4afe89db7dffe1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_tasks-1e4afe89db7dffe1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

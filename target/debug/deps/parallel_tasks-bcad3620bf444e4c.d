@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_tasks-bcad3620bf444e4c.d: src/lib.rs
+
+/root/repo/target/debug/deps/parallel_tasks-bcad3620bf444e4c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-855bed3d3c4c0047.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-855bed3d3c4c0047: tests/pipeline.rs
+
+tests/pipeline.rs:

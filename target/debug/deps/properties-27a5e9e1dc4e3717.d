@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-27a5e9e1dc4e3717.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-27a5e9e1dc4e3717: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6cff0ef82ed78ccd.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-6cff0ef82ed78ccd: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

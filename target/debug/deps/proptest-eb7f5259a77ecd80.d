@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-eb7f5259a77ecd80.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eb7f5259a77ecd80.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eb7f5259a77ecd80.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

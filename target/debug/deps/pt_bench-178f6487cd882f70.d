@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pt_bench-178f6487cd882f70.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pt_bench-178f6487cd882f70: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pt_bench-82c9c69c49469d31.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_bench-82c9c69c49469d31.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

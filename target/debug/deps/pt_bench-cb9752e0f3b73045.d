@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pt_bench-cb9752e0f3b73045.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpt_bench-cb9752e0f3b73045.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpt_bench-cb9752e0f3b73045.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pt_core-20101b1b9e5ec691.d: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_core-20101b1b9e5ec691.rmeta: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adjust.rs:
+crates/core/src/cpa.rs:
+crates/core/src/cpr.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/layer_sched.rs:
+crates/core/src/list.rs:
+crates/core/src/mapping.rs:
+crates/core/src/schedule.rs:
+crates/core/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pt_core-835e0ee91fca3962.d: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+/root/repo/target/debug/deps/pt_core-835e0ee91fca3962: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adjust.rs:
+crates/core/src/cpa.rs:
+crates/core/src/cpr.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/layer_sched.rs:
+crates/core/src/list.rs:
+crates/core/src/mapping.rs:
+crates/core/src/schedule.rs:
+crates/core/src/two_level.rs:

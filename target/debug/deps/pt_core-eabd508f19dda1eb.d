@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pt_core-eabd508f19dda1eb.d: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+/root/repo/target/debug/deps/libpt_core-eabd508f19dda1eb.rlib: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+/root/repo/target/debug/deps/libpt_core-eabd508f19dda1eb.rmeta: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adjust.rs:
+crates/core/src/cpa.rs:
+crates/core/src/cpr.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/layer_sched.rs:
+crates/core/src/list.rs:
+crates/core/src/mapping.rs:
+crates/core/src/schedule.rs:
+crates/core/src/two_level.rs:

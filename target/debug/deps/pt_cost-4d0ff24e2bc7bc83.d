@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pt_cost-4d0ff24e2bc7bc83.d: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_cost-4d0ff24e2bc7bc83.rmeta: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs Cargo.toml
+
+crates/cost/src/lib.rs:
+crates/cost/src/collectives.rs:
+crates/cost/src/context.rs:
+crates/cost/src/redist.rs:
+crates/cost/src/symbolic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pt_cost-8cc7279cb1a7ef23.d: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+/root/repo/target/debug/deps/libpt_cost-8cc7279cb1a7ef23.rlib: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+/root/repo/target/debug/deps/libpt_cost-8cc7279cb1a7ef23.rmeta: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+crates/cost/src/lib.rs:
+crates/cost/src/collectives.rs:
+crates/cost/src/context.rs:
+crates/cost/src/redist.rs:
+crates/cost/src/symbolic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pt_cost-8e9064ed88bd7181.d: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+/root/repo/target/debug/deps/pt_cost-8e9064ed88bd7181: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+crates/cost/src/lib.rs:
+crates/cost/src/collectives.rs:
+crates/cost/src/context.rs:
+crates/cost/src/redist.rs:
+crates/cost/src/symbolic.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pt_exec-0c6e89e059ca0cfd.d: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_exec-0c6e89e059ca0cfd.rmeta: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/barrier.rs:
+crates/exec/src/comm.rs:
+crates/exec/src/dynamic.rs:
+crates/exec/src/error.rs:
+crates/exec/src/fault.rs:
+crates/exec/src/program.rs:
+crates/exec/src/store.rs:
+crates/exec/src/team.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pt_exec-4c28191f6fe1d6d9.d: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+/root/repo/target/debug/deps/libpt_exec-4c28191f6fe1d6d9.rlib: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+/root/repo/target/debug/deps/libpt_exec-4c28191f6fe1d6d9.rmeta: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/barrier.rs:
+crates/exec/src/comm.rs:
+crates/exec/src/dynamic.rs:
+crates/exec/src/error.rs:
+crates/exec/src/fault.rs:
+crates/exec/src/program.rs:
+crates/exec/src/store.rs:
+crates/exec/src/team.rs:

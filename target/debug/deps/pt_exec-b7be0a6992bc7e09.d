@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pt_exec-b7be0a6992bc7e09.d: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+/root/repo/target/debug/deps/pt_exec-b7be0a6992bc7e09: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/barrier.rs:
+crates/exec/src/comm.rs:
+crates/exec/src/dynamic.rs:
+crates/exec/src/error.rs:
+crates/exec/src/fault.rs:
+crates/exec/src/program.rs:
+crates/exec/src/store.rs:
+crates/exec/src/team.rs:

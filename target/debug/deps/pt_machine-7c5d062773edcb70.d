@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pt_machine-7c5d062773edcb70.d: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_machine-7c5d062773edcb70.rmeta: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/platforms.rs:
+crates/machine/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

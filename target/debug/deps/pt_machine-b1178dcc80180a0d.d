@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pt_machine-b1178dcc80180a0d.d: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+/root/repo/target/debug/deps/pt_machine-b1178dcc80180a0d: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/platforms.rs:
+crates/machine/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pt_machine-e7c560adf1d95e85.d: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+/root/repo/target/debug/deps/libpt_machine-e7c560adf1d95e85.rlib: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+/root/repo/target/debug/deps/libpt_machine-e7c560adf1d95e85.rmeta: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/platforms.rs:
+crates/machine/src/tree.rs:

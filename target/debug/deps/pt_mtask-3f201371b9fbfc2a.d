@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pt_mtask-3f201371b9fbfc2a.d: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_mtask-3f201371b9fbfc2a.rmeta: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs Cargo.toml
+
+crates/mtask/src/lib.rs:
+crates/mtask/src/chain.rs:
+crates/mtask/src/dist.rs:
+crates/mtask/src/graph.rs:
+crates/mtask/src/layer.rs:
+crates/mtask/src/parse.rs:
+crates/mtask/src/spec.rs:
+crates/mtask/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

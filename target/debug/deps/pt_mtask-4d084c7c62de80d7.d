@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pt_mtask-4d084c7c62de80d7.d: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+/root/repo/target/debug/deps/pt_mtask-4d084c7c62de80d7: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+crates/mtask/src/lib.rs:
+crates/mtask/src/chain.rs:
+crates/mtask/src/dist.rs:
+crates/mtask/src/graph.rs:
+crates/mtask/src/layer.rs:
+crates/mtask/src/parse.rs:
+crates/mtask/src/spec.rs:
+crates/mtask/src/task.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pt_mtask-b5b445251e2c2598.d: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+/root/repo/target/debug/deps/libpt_mtask-b5b445251e2c2598.rlib: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+/root/repo/target/debug/deps/libpt_mtask-b5b445251e2c2598.rmeta: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+crates/mtask/src/lib.rs:
+crates/mtask/src/chain.rs:
+crates/mtask/src/dist.rs:
+crates/mtask/src/graph.rs:
+crates/mtask/src/layer.rs:
+crates/mtask/src/parse.rs:
+crates/mtask/src/spec.rs:
+crates/mtask/src/task.rs:

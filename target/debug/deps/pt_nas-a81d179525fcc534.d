@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pt_nas-a81d179525fcc534.d: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+/root/repo/target/debug/deps/libpt_nas-a81d179525fcc534.rlib: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+/root/repo/target/debug/deps/libpt_nas-a81d179525fcc534.rmeta: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/classes.rs:
+crates/nas/src/graph.rs:
+crates/nas/src/kernel.rs:

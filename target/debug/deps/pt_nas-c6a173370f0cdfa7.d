@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pt_nas-c6a173370f0cdfa7.d: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_nas-c6a173370f0cdfa7.rmeta: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs Cargo.toml
+
+crates/nas/src/lib.rs:
+crates/nas/src/classes.rs:
+crates/nas/src/graph.rs:
+crates/nas/src/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pt_nas-eefe1c2cd5e23d59.d: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+/root/repo/target/debug/deps/pt_nas-eefe1c2cd5e23d59: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/classes.rs:
+crates/nas/src/graph.rs:
+crates/nas/src/kernel.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pt_ode-5144943f8b473331.d: crates/ode/src/lib.rs crates/ode/src/bruss2d.rs crates/ode/src/census.rs crates/ode/src/diirk.rs crates/ode/src/epol.rs crates/ode/src/irk.rs crates/ode/src/linalg.rs crates/ode/src/pab.rs crates/ode/src/pabm.rs crates/ode/src/reference.rs crates/ode/src/schroed.rs crates/ode/src/system.rs crates/ode/src/tableau.rs crates/ode/src/spmd_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_ode-5144943f8b473331.rmeta: crates/ode/src/lib.rs crates/ode/src/bruss2d.rs crates/ode/src/census.rs crates/ode/src/diirk.rs crates/ode/src/epol.rs crates/ode/src/irk.rs crates/ode/src/linalg.rs crates/ode/src/pab.rs crates/ode/src/pabm.rs crates/ode/src/reference.rs crates/ode/src/schroed.rs crates/ode/src/system.rs crates/ode/src/tableau.rs crates/ode/src/spmd_util.rs Cargo.toml
+
+crates/ode/src/lib.rs:
+crates/ode/src/bruss2d.rs:
+crates/ode/src/census.rs:
+crates/ode/src/diirk.rs:
+crates/ode/src/epol.rs:
+crates/ode/src/irk.rs:
+crates/ode/src/linalg.rs:
+crates/ode/src/pab.rs:
+crates/ode/src/pabm.rs:
+crates/ode/src/reference.rs:
+crates/ode/src/schroed.rs:
+crates/ode/src/system.rs:
+crates/ode/src/tableau.rs:
+crates/ode/src/spmd_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pt_sim-3955351ac571039e.d: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+/root/repo/target/debug/deps/libpt_sim-3955351ac571039e.rlib: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+/root/repo/target/debug/deps/libpt_sim-3955351ac571039e.rmeta: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flat.rs:
+crates/sim/src/layered.rs:
+crates/sim/src/render.rs:
+crates/sim/src/report.rs:
+crates/sim/src/two_level.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pt_sim-68675dc799998e85.d: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpt_sim-68675dc799998e85.rmeta: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/flat.rs:
+crates/sim/src/layered.rs:
+crates/sim/src/render.rs:
+crates/sim/src/report.rs:
+crates/sim/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pt_sim-f125a0cf3dbbe5c5.d: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+/root/repo/target/debug/deps/pt_sim-f125a0cf3dbbe5c5: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flat.rs:
+crates/sim/src/layered.rs:
+crates/sim/src/render.rs:
+crates/sim/src/report.rs:
+crates/sim/src/two_level.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ptsched-1d5c5b3e9e89f4d7.d: src/bin/ptsched.rs
+
+/root/repo/target/debug/deps/ptsched-1d5c5b3e9e89f4d7: src/bin/ptsched.rs
+
+src/bin/ptsched.rs:

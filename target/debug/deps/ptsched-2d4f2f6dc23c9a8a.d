@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ptsched-2d4f2f6dc23c9a8a.d: src/bin/ptsched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libptsched-2d4f2f6dc23c9a8a.rmeta: src/bin/ptsched.rs Cargo.toml
+
+src/bin/ptsched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

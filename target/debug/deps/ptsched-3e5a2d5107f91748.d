@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ptsched-3e5a2d5107f91748.d: src/bin/ptsched.rs
+
+/root/repo/target/debug/deps/ptsched-3e5a2d5107f91748: src/bin/ptsched.rs
+
+src/bin/ptsched.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-74778fbafd1f6955.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-74778fbafd1f6955.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-74778fbafd1f6955.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-d2af89fb8ae2d407.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-d2af89fb8ae2d407: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/readme_tour-64c0b0d4b9013bba.d: tests/readme_tour.rs
+
+/root/repo/target/debug/deps/readme_tour-64c0b0d4b9013bba: tests/readme_tour.rs
+
+tests/readme_tour.rs:

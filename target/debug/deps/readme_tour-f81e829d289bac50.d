@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/readme_tour-f81e829d289bac50.d: tests/readme_tour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreadme_tour-f81e829d289bac50.rmeta: tests/readme_tour.rs Cargo.toml
+
+tests/readme_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-7640cf3bfb3b5b74.d: crates/bench/benches/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-7640cf3bfb3b5b74.rmeta: crates/bench/benches/runtime.rs Cargo.toml
+
+crates/bench/benches/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a46ec9e732bf7431.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a46ec9e732bf7431.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a46ec9e732bf7431.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-da39829bb1d8861a.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-da39829bb1d8861a: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-1d5bd7665d6d559e.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-1d5bd7665d6d559e.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

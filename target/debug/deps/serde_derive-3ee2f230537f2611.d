@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-3ee2f230537f2611.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-3ee2f230537f2611: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

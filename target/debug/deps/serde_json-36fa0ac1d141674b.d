@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-36fa0ac1d141674b.d: compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-36fa0ac1d141674b: compat/serde_json/src/lib.rs
+
+compat/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-4913c09753f5731f.d: compat/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-4913c09753f5731f.rmeta: compat/serde_json/src/lib.rs Cargo.toml
+
+compat/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

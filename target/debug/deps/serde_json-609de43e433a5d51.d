@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-609de43e433a5d51.d: compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-609de43e433a5d51.rlib: compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-609de43e433a5d51.rmeta: compat/serde_json/src/lib.rs
+
+compat/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-2486efb668564d4d.d: tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-2486efb668564d4d.rmeta: tests/serde_roundtrip.rs Cargo.toml
+
+tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-3eb4c16fc71bf040.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-3eb4c16fc71bf040: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_recovery-20c5929a6c0c7c9a.d: examples/fault_recovery.rs
+
+/root/repo/target/debug/examples/fault_recovery-20c5929a6c0c7c9a: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

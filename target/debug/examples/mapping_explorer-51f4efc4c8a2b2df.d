@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mapping_explorer-51f4efc4c8a2b2df.d: examples/mapping_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmapping_explorer-51f4efc4c8a2b2df.rmeta: examples/mapping_explorer.rs Cargo.toml
+
+examples/mapping_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

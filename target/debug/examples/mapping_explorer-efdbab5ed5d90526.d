@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_explorer-efdbab5ed5d90526.d: examples/mapping_explorer.rs
+
+/root/repo/target/debug/examples/mapping_explorer-efdbab5ed5d90526: examples/mapping_explorer.rs
+
+examples/mapping_explorer.rs:

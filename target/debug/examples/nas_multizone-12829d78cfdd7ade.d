@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nas_multizone-12829d78cfdd7ade.d: examples/nas_multizone.rs
+
+/root/repo/target/debug/examples/nas_multizone-12829d78cfdd7ade: examples/nas_multizone.rs
+
+examples/nas_multizone.rs:

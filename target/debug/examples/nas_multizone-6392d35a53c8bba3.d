@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nas_multizone-6392d35a53c8bba3.d: examples/nas_multizone.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnas_multizone-6392d35a53c8bba3.rmeta: examples/nas_multizone.rs Cargo.toml
+
+examples/nas_multizone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

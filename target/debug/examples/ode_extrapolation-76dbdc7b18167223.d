@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ode_extrapolation-76dbdc7b18167223.d: examples/ode_extrapolation.rs
+
+/root/repo/target/debug/examples/ode_extrapolation-76dbdc7b18167223: examples/ode_extrapolation.rs
+
+examples/ode_extrapolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ode_extrapolation-8d06022236b52ab5.d: examples/ode_extrapolation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libode_extrapolation-8d06022236b52ab5.rmeta: examples/ode_extrapolation.rs Cargo.toml
+
+examples/ode_extrapolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-86a17a104f295e03.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-86a17a104f295e03: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parallel_tasks-3450dbbebbffd72d.d: src/lib.rs
+
+/root/repo/target/release/deps/libparallel_tasks-3450dbbebbffd72d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparallel_tasks-3450dbbebbffd72d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-074c823050ef1d13.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-074c823050ef1d13.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-074c823050ef1d13.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

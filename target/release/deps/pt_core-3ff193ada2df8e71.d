@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pt_core-3ff193ada2df8e71.d: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+/root/repo/target/release/deps/libpt_core-3ff193ada2df8e71.rlib: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+/root/repo/target/release/deps/libpt_core-3ff193ada2df8e71.rmeta: crates/core/src/lib.rs crates/core/src/adjust.rs crates/core/src/cpa.rs crates/core/src/cpr.rs crates/core/src/hybrid.rs crates/core/src/layer_sched.rs crates/core/src/list.rs crates/core/src/mapping.rs crates/core/src/schedule.rs crates/core/src/two_level.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adjust.rs:
+crates/core/src/cpa.rs:
+crates/core/src/cpr.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/layer_sched.rs:
+crates/core/src/list.rs:
+crates/core/src/mapping.rs:
+crates/core/src/schedule.rs:
+crates/core/src/two_level.rs:

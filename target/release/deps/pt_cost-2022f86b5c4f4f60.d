@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pt_cost-2022f86b5c4f4f60.d: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+/root/repo/target/release/deps/libpt_cost-2022f86b5c4f4f60.rlib: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+/root/repo/target/release/deps/libpt_cost-2022f86b5c4f4f60.rmeta: crates/cost/src/lib.rs crates/cost/src/collectives.rs crates/cost/src/context.rs crates/cost/src/redist.rs crates/cost/src/symbolic.rs
+
+crates/cost/src/lib.rs:
+crates/cost/src/collectives.rs:
+crates/cost/src/context.rs:
+crates/cost/src/redist.rs:
+crates/cost/src/symbolic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pt_exec-78e01828f1596c19.d: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+/root/repo/target/release/deps/libpt_exec-78e01828f1596c19.rlib: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+/root/repo/target/release/deps/libpt_exec-78e01828f1596c19.rmeta: crates/exec/src/lib.rs crates/exec/src/barrier.rs crates/exec/src/comm.rs crates/exec/src/dynamic.rs crates/exec/src/error.rs crates/exec/src/fault.rs crates/exec/src/program.rs crates/exec/src/store.rs crates/exec/src/team.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/barrier.rs:
+crates/exec/src/comm.rs:
+crates/exec/src/dynamic.rs:
+crates/exec/src/error.rs:
+crates/exec/src/fault.rs:
+crates/exec/src/program.rs:
+crates/exec/src/store.rs:
+crates/exec/src/team.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pt_machine-f9562eabb7234493.d: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+/root/repo/target/release/deps/libpt_machine-f9562eabb7234493.rlib: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+/root/repo/target/release/deps/libpt_machine-f9562eabb7234493.rmeta: crates/machine/src/lib.rs crates/machine/src/platforms.rs crates/machine/src/tree.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/platforms.rs:
+crates/machine/src/tree.rs:

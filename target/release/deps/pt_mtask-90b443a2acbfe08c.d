@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pt_mtask-90b443a2acbfe08c.d: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+/root/repo/target/release/deps/libpt_mtask-90b443a2acbfe08c.rlib: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+/root/repo/target/release/deps/libpt_mtask-90b443a2acbfe08c.rmeta: crates/mtask/src/lib.rs crates/mtask/src/chain.rs crates/mtask/src/dist.rs crates/mtask/src/graph.rs crates/mtask/src/layer.rs crates/mtask/src/parse.rs crates/mtask/src/spec.rs crates/mtask/src/task.rs
+
+crates/mtask/src/lib.rs:
+crates/mtask/src/chain.rs:
+crates/mtask/src/dist.rs:
+crates/mtask/src/graph.rs:
+crates/mtask/src/layer.rs:
+crates/mtask/src/parse.rs:
+crates/mtask/src/spec.rs:
+crates/mtask/src/task.rs:

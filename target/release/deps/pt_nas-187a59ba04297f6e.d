@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pt_nas-187a59ba04297f6e.d: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+/root/repo/target/release/deps/libpt_nas-187a59ba04297f6e.rlib: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+/root/repo/target/release/deps/libpt_nas-187a59ba04297f6e.rmeta: crates/nas/src/lib.rs crates/nas/src/classes.rs crates/nas/src/graph.rs crates/nas/src/kernel.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/classes.rs:
+crates/nas/src/graph.rs:
+crates/nas/src/kernel.rs:

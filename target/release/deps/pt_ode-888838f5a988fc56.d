@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pt_ode-888838f5a988fc56.d: crates/ode/src/lib.rs crates/ode/src/bruss2d.rs crates/ode/src/census.rs crates/ode/src/diirk.rs crates/ode/src/epol.rs crates/ode/src/irk.rs crates/ode/src/linalg.rs crates/ode/src/pab.rs crates/ode/src/pabm.rs crates/ode/src/reference.rs crates/ode/src/schroed.rs crates/ode/src/system.rs crates/ode/src/tableau.rs crates/ode/src/spmd_util.rs
+
+/root/repo/target/release/deps/libpt_ode-888838f5a988fc56.rlib: crates/ode/src/lib.rs crates/ode/src/bruss2d.rs crates/ode/src/census.rs crates/ode/src/diirk.rs crates/ode/src/epol.rs crates/ode/src/irk.rs crates/ode/src/linalg.rs crates/ode/src/pab.rs crates/ode/src/pabm.rs crates/ode/src/reference.rs crates/ode/src/schroed.rs crates/ode/src/system.rs crates/ode/src/tableau.rs crates/ode/src/spmd_util.rs
+
+/root/repo/target/release/deps/libpt_ode-888838f5a988fc56.rmeta: crates/ode/src/lib.rs crates/ode/src/bruss2d.rs crates/ode/src/census.rs crates/ode/src/diirk.rs crates/ode/src/epol.rs crates/ode/src/irk.rs crates/ode/src/linalg.rs crates/ode/src/pab.rs crates/ode/src/pabm.rs crates/ode/src/reference.rs crates/ode/src/schroed.rs crates/ode/src/system.rs crates/ode/src/tableau.rs crates/ode/src/spmd_util.rs
+
+crates/ode/src/lib.rs:
+crates/ode/src/bruss2d.rs:
+crates/ode/src/census.rs:
+crates/ode/src/diirk.rs:
+crates/ode/src/epol.rs:
+crates/ode/src/irk.rs:
+crates/ode/src/linalg.rs:
+crates/ode/src/pab.rs:
+crates/ode/src/pabm.rs:
+crates/ode/src/reference.rs:
+crates/ode/src/schroed.rs:
+crates/ode/src/system.rs:
+crates/ode/src/tableau.rs:
+crates/ode/src/spmd_util.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pt_sim-fefd695668875ce6.d: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+/root/repo/target/release/deps/libpt_sim-fefd695668875ce6.rlib: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+/root/repo/target/release/deps/libpt_sim-fefd695668875ce6.rmeta: crates/sim/src/lib.rs crates/sim/src/flat.rs crates/sim/src/layered.rs crates/sim/src/render.rs crates/sim/src/report.rs crates/sim/src/two_level.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flat.rs:
+crates/sim/src/layered.rs:
+crates/sim/src/render.rs:
+crates/sim/src/report.rs:
+crates/sim/src/two_level.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ptsched-00c1ca76f5cfe304.d: src/bin/ptsched.rs
+
+/root/repo/target/release/deps/ptsched-00c1ca76f5cfe304: src/bin/ptsched.rs
+
+src/bin/ptsched.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-58c516be8a0265fe.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-58c516be8a0265fe.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-58c516be8a0265fe.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-079545ca308d666a.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-079545ca308d666a.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-079545ca308d666a.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8fd44de6d034d83c.d: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8fd44de6d034d83c.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8fd44de6d034d83c.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

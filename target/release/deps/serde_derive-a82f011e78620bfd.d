@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a82f011e78620bfd.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a82f011e78620bfd.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

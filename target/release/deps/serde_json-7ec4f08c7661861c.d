@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7ec4f08c7661861c.d: compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7ec4f08c7661861c.rlib: compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7ec4f08c7661861c.rmeta: compat/serde_json/src/lib.rs
+
+compat/serde_json/src/lib.rs:

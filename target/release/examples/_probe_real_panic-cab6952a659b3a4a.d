@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_real_panic-cab6952a659b3a4a.d: examples/_probe_real_panic.rs
+
+/root/repo/target/release/examples/_probe_real_panic-cab6952a659b3a4a: examples/_probe_real_panic.rs
+
+examples/_probe_real_panic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_recovery-2cfed2d2a8f6d707.d: examples/fault_recovery.rs
+
+/root/repo/target/release/examples/fault_recovery-2cfed2d2a8f6d707: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

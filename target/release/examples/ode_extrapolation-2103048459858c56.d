@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ode_extrapolation-2103048459858c56.d: examples/ode_extrapolation.rs
+
+/root/repo/target/release/examples/ode_extrapolation-2103048459858c56: examples/ode_extrapolation.rs
+
+examples/ode_extrapolation.rs:

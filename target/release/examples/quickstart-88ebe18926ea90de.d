@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-88ebe18926ea90de.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-88ebe18926ea90de: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -70,7 +70,9 @@ struct Counts {
 fn tp_schedule(graph: &TaskGraph, groups: usize) -> parallel_tasks::core::LayeredSchedule {
     let spec = platforms::chic().with_cores(64);
     let model = CostModel::new(&spec);
-    let s = LayerScheduler::new(&model).with_fixed_groups(groups).schedule(graph);
+    let s = LayerScheduler::new(&model)
+        .with_fixed_groups(groups)
+        .schedule(graph);
     // Sanity: the mapping machinery accepts it.
     let _ = MappingStrategy::Consecutive.mapping(&spec, 64);
     s

@@ -20,7 +20,10 @@ fn spmd<T: Send + 'static>(
             std::thread::spawn(move || f(r, &comm))
         })
         .collect();
-    handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect()
 }
 
 proptest! {

@@ -34,7 +34,7 @@ fn epol_spmd_equals_sequential_across_layouts() {
     for layout in [vec![0..4], vec![0..2, 2..4], vec![0..1, 1..2, 2..3, 3..4]] {
         let team = Team::new(4);
         let store = store_with_state(&y0, h);
-        e.run_spmd(&team, &sys, &layout, &store, 3);
+        e.run_spmd(&team, &sys, &layout, &store, 3).unwrap();
         let eta = store.get("eta").unwrap();
         assert!(
             max_err(&eta, &seq) < 1e-12,
@@ -60,7 +60,7 @@ fn irk_spmd_equals_sequential_across_layouts() {
     for layout in [vec![0..3], vec![0..2, 2..3]] {
         let team = Team::new(3);
         let store = store_with_state(&y0, h);
-        irk.run_spmd(&team, &sys, &layout, &store, 2);
+        irk.run_spmd(&team, &sys, &layout, &store, 2).unwrap();
         assert!(max_err(&store.get("eta").unwrap(), &seq) < 1e-12);
     }
 }
@@ -83,7 +83,7 @@ fn diirk_spmd_equals_sequential() {
     let counter = Arc::new(AtomicUsize::new(0));
     let program = d.build_program(&sys, &[0..1, 1..2, 2..3], counter);
     for _ in 0..2 {
-        team.run(&program, &store);
+        team.run(&program, &store).unwrap();
     }
     assert!(max_err(&store.get("eta").unwrap(), &seq) < 1e-11);
 }
@@ -104,9 +104,13 @@ fn pab_and_pabm_spmd_equal_sequential() {
     let team = Team::new(4);
     let store = DataStore::new();
     state_to_store(&st0, &store);
-    pab.run_spmd(&team, &sys, &[0..2, 2..4], &store, 2);
+    pab.run_spmd(&team, &sys, &[0..2, 2..4], &store, 2).unwrap();
     let got = store_to_state(&store, 4);
-    assert!(max_err(&got.y, &seq.y) < 1e-12, "PAB err {}", max_err(&got.y, &seq.y));
+    assert!(
+        max_err(&got.y, &seq.y) < 1e-12,
+        "PAB err {}",
+        max_err(&got.y, &seq.y)
+    );
 
     let pabm = Pabm::new(4, 2);
     let mut seq = st0.clone();
@@ -115,7 +119,8 @@ fn pab_and_pabm_spmd_equal_sequential() {
     }
     let store = DataStore::new();
     state_to_store(&st0, &store);
-    pabm.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 2);
+    pabm.run_spmd(&team, &sys, &[0..1, 1..2, 2..3, 3..4], &store, 2)
+        .unwrap();
     let got = store_to_state(&store, 4);
     assert!(
         max_err(&got.y, &seq.y) < 1e-12,
@@ -145,5 +150,9 @@ fn all_solvers_agree_with_each_other_on_smooth_problem() {
     assert!(max_err(&e, &i) < 1e-8, "EPOL vs IRK: {}", max_err(&e, &i));
     assert!(max_err(&i, &d) < 1e-8, "IRK vs DIIRK: {}", max_err(&i, &d));
     assert!(max_err(&e, &p) < 1e-6, "EPOL vs PAB: {}", max_err(&e, &p));
-    assert!(max_err(&e, &pm) < 1e-7, "EPOL vs PABM: {}", max_err(&e, &pm));
+    assert!(
+        max_err(&e, &pm) < 1e-7,
+        "EPOL vs PABM: {}",
+        max_err(&e, &pm)
+    );
 }

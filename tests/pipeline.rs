@@ -23,7 +23,9 @@ fn layered_time(
     }
     let s = sched.schedule(graph);
     let map = mapping.mapping(&spec, cores);
-    Simulator::new(&model).simulate_layered(graph, &s, &map).makespan
+    Simulator::new(&model)
+        .simulate_layered(graph, &s, &map)
+        .makespan
 }
 
 #[test]
@@ -35,7 +37,9 @@ fn task_parallel_beats_data_parallel_for_pabm_dense() {
     let model = CostModel::new(&spec);
     let map = MappingStrategy::Consecutive.mapping(&spec, 256);
     let sim = Simulator::new(&model);
-    let tp = LayerScheduler::new(&model).with_fixed_groups(8).schedule(&graph);
+    let tp = LayerScheduler::new(&model)
+        .with_fixed_groups(8)
+        .schedule(&graph);
     let dp = DataParallel::schedule(&graph, 256);
     let t_tp = sim.simulate_layered(&graph, &tp, &map).makespan;
     let t_dp = sim.simulate_layered(&graph, &dp, &map).makespan;
@@ -130,7 +134,10 @@ fn bt_mz_suffers_load_imbalance_at_max_parallelism() {
     let sched_max = mz.blocked_schedule(2, 256, 256);
     let rep_max = sim.simulate_layered(&graph, &sched_max, &map);
     let t_mid = sim.simulate_layered(&graph, &sched_mid, &map).makespan;
-    assert!(rep_max.makespan > 1.5 * t_mid, "one zone per group must hurt BT-MZ");
+    assert!(
+        rep_max.makespan > 1.5 * t_mid,
+        "one zone per group must hurt BT-MZ"
+    );
     // The imbalance is visible as idle time at the layer barrier.
     assert!(rep_max.layers[0].idle_fraction() > 0.3);
 }
@@ -147,7 +154,9 @@ fn hybrid_helps_data_parallel_irk() {
     let model = CostModel::new(&spec);
     let map = MappingStrategy::Consecutive.mapping(&spec, 512);
     let dp = DataParallel::schedule(&graph, 512);
-    let pure = Simulator::new(&model).simulate_layered(&graph, &dp, &map).makespan;
+    let pure = Simulator::new(&model)
+        .simulate_layered(&graph, &dp, &map)
+        .makespan;
     let hybrid = Simulator::new(&model)
         .with_hybrid(HybridConfig::per_node(&spec))
         .simulate_layered(&graph, &dp, &map)
@@ -184,7 +193,10 @@ fn simulated_speedup_grows_with_cores_for_dense_system() {
     let mut prev = f64::INFINITY;
     for cores in [32usize, 64, 128, 256] {
         let t = layered_time(&graph, &chic, cores, Some(8), MappingStrategy::Consecutive);
-        assert!(t < prev, "{cores} cores ({t}) must beat fewer cores ({prev})");
+        assert!(
+            t < prev,
+            "{cores} cores ({t}) must beat fewer cores ({prev})"
+        );
         prev = t;
     }
 }

@@ -1,9 +1,7 @@
 //! The README's "Library tour" snippet, compiled and executed verbatim so
 //! the front-page documentation can never rot.
 
-use parallel_tasks::{
-    core::*, cost::CostModel, machine::platforms, mtask::*, sim::Simulator,
-};
+use parallel_tasks::{core::*, cost::CostModel, machine::platforms, mtask::*, sim::Simulator};
 
 #[test]
 fn readme_library_tour_runs() {
