@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/_review_probe-febb35b32e45d77f.d: tests/_review_probe.rs
+
+/root/repo/target/debug/deps/_review_probe-febb35b32e45d77f: tests/_review_probe.rs
+
+tests/_review_probe.rs:
