@@ -1,0 +1,112 @@
+//! Schedule-construction benchmark gate.
+//!
+//! Times how long the layer scheduler (Algorithm 1: chain contraction →
+//! layering → memoized g-sweep → heap LPT → adjustment) takes to *build* a
+//! schedule — not the simulated makespan — for the two workhorse graphs of
+//! the evaluation:
+//!
+//! * `epol_r8` — the extrapolation ODE method with R = 8 stage chains
+//!   (76 tasks, contracted to 20 nodes).
+//! * `bt_mz_c` — NAS BT-MZ class C, two unrolled time steps
+//!   (two layers of 256 zone tasks each).
+//!
+//! Each graph is scheduled on JUROPA at P ∈ {64, 256, 1024, 4096} symbolic
+//! cores.  Results land in `BENCH_sched.json` at the repository root,
+//! alongside the pre-optimisation baselines (measured at commit 735d971 on
+//! the same container) and the resulting speedups, so regressions show up
+//! as a diff.
+//!
+//! `--quick` reduces repetitions for CI smoke runs; the JSON is written
+//! either way.
+
+use pt_cost::CostModel;
+use pt_machine::platforms;
+use serde::Serialize;
+use std::time::Instant;
+
+const CORE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
+
+/// Pre-PR medians (milliseconds) measured at commit 735d971, same order as
+/// [`CORE_COUNTS`].
+const BASELINE_EPOL_MS: [f64; 4] = [0.0289, 0.0307, 0.0291, 0.0291];
+const BASELINE_BT_MS: [f64; 4] = [6.5479, 41.9899, 42.7230, 39.8736];
+
+#[derive(Serialize)]
+struct Entry {
+    graph: &'static str,
+    tasks: usize,
+    cores: usize,
+    /// Mean wall-clock milliseconds to construct one schedule.
+    construct_ms: f64,
+    /// Same quantity at the pre-optimisation baseline commit.
+    baseline_ms: f64,
+    speedup: f64,
+    reps: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    machine: &'static str,
+    baseline_commit: &'static str,
+    quick: bool,
+    results: Vec<Entry>,
+}
+
+fn time_schedule(graph: &pt_mtask::TaskGraph, p: usize, reps: usize) -> f64 {
+    let spec = platforms::juropa().with_cores(p);
+    let model = CostModel::new(&spec);
+    let sched = pt_core::LayerScheduler::new(&model);
+    // Warm-up run (also validates the schedule shape).
+    let warm = sched.schedule(graph);
+    assert!(warm.validate().is_ok(), "invalid schedule for P = {p}");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(sched.schedule(graph));
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (epol_reps, bt_reps) = if quick { (20, 1) } else { (500, 5) };
+
+    let epol = pt_ode::Epol::new(8).step_graph(&pt_ode::Bruss2d::new(500), 2);
+    let bt = pt_nas::bt_mz(pt_nas::Class::C).step_graph(2);
+
+    let mut results = Vec::new();
+    for (name, graph, reps, baseline) in [
+        ("epol_r8", &epol, epol_reps, &BASELINE_EPOL_MS),
+        ("bt_mz_c", &bt, bt_reps, &BASELINE_BT_MS),
+    ] {
+        for (i, &p) in CORE_COUNTS.iter().enumerate() {
+            let ms = time_schedule(graph, p, reps);
+            let entry = Entry {
+                graph: name,
+                tasks: graph.len(),
+                cores: p,
+                construct_ms: ms,
+                baseline_ms: baseline[i],
+                speedup: baseline[i] / ms,
+                reps,
+            };
+            println!(
+                "{name} P={p}: {ms:.4} ms (baseline {:.4} ms, {:.1}x)",
+                entry.baseline_ms, entry.speedup
+            );
+            results.push(entry);
+        }
+    }
+
+    let report = Report {
+        benchmark: "schedule construction (LayerScheduler::schedule wall clock)",
+        machine: "juropa",
+        baseline_commit: "735d971",
+        quick,
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, json + "\n").expect("write BENCH_sched.json");
+    println!("wrote {path}");
+}

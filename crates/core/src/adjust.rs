@@ -143,4 +143,65 @@ mod tests {
     fn too_few_cores_rejected() {
         adjust_group_sizes(&[1.0, 1.0, 1.0], 2);
     }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn adjustment_preserves_total(
+                work in prop::collection::vec(0.0f64..100.0, 1..12),
+                extra in 0usize..64,
+            ) {
+                let total = work.len() + extra;
+                let sizes = adjust_group_sizes(&work, total);
+                prop_assert_eq!(sizes.len(), work.len());
+                prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+            }
+
+            #[test]
+            fn positive_work_never_starves(
+                work in prop::collection::vec(0.001f64..100.0, 1..12),
+                extra in 0usize..64,
+            ) {
+                let total = work.len() + extra;
+                let sizes = adjust_group_sizes(&work, total);
+                for (&w, &s) in work.iter().zip(&sizes) {
+                    prop_assert!(w <= 0.0 || s >= 1, "work {w} got {s} cores");
+                }
+            }
+
+            #[test]
+            fn sizes_are_monotone_in_work(
+                work in prop::collection::vec(0.001f64..100.0, 2..12),
+                extra in 0usize..64,
+            ) {
+                let mut work = work;
+                work.sort_by(f64::total_cmp);
+                let total = work.len() + extra;
+                let sizes = adjust_group_sizes(&work, total);
+                for i in 1..work.len() {
+                    // Strictly more work never means fewer cores (equal
+                    // work may differ by one through the rounding).
+                    if work[i - 1] < work[i] {
+                        prop_assert!(
+                            sizes[i - 1] <= sizes[i],
+                            "work {:?} -> sizes {:?}", work, sizes
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn equal_partition_is_balanced(total in 1usize..200, g_off in 0usize..16) {
+                let g = 1 + g_off.min(total - 1);
+                let p = equal_partition(total, g);
+                prop_assert_eq!(p.iter().sum::<usize>(), total);
+                let min = *p.iter().min().unwrap();
+                let max = *p.iter().max().unwrap();
+                prop_assert!(max - min <= 1);
+            }
+        }
+    }
 }

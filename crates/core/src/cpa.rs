@@ -14,9 +14,9 @@
 //! tasks far more cores than `P/K`, so the scheduling phase cannot run the
 //! `K` independent tasks of a PABM/IRK layer concurrently.
 
-use crate::list::{list_schedule, symbolic_redist};
+use crate::list::{list_schedule_with, symbolic_redist_disjoint};
 use crate::schedule::SymbolicSchedule;
-use pt_cost::CostModel;
+use pt_cost::{CostModel, CostTable};
 use pt_mtask::{chain::ChainGraph, TaskGraph, TaskId};
 
 /// The CPA scheduler.
@@ -34,14 +34,22 @@ impl<'a> Cpa<'a> {
 
     /// Allocation phase on the (chain-contracted) graph: one `np` per node.
     pub fn allocate(&self, graph: &TaskGraph) -> Vec<usize> {
+        // One memo table for the whole allocation loop: the critical-path
+        // recomputation re-prices every task at its current (mostly
+        // unchanged) width each round.
+        let table = CostTable::new(self.model, graph.len());
+        self.allocate_with(&table, graph)
+    }
+
+    fn allocate_with(&self, table: &CostTable<'_>, graph: &TaskGraph) -> Vec<usize> {
         let p = self.model.spec.total_cores();
         let n = graph.len();
         let mut np = vec![1usize; n];
         // Bound the loop: every task can grow to at most P cores.
         let max_steps = n * p;
         for _ in 0..max_steps {
-            let (tcp, on_cp) = self.critical_path(graph, &np);
-            let ta = self.average_area(graph, &np);
+            let (tcp, on_cp) = self.critical_path(table, graph, &np);
+            let ta = self.average_area(table, graph, &np);
             if tcp <= ta {
                 break;
             }
@@ -51,8 +59,8 @@ impl<'a> Cpa<'a> {
                 if np[t.0] >= p {
                     continue;
                 }
-                let cur = self.time(graph, t, np[t.0]);
-                let nxt = self.time(graph, t, np[t.0] + 1);
+                let cur = self.time(table, graph, t, np[t.0]);
+                let nxt = self.time(table, graph, t, np[t.0] + 1);
                 let gain = cur / np[t.0] as f64 - nxt / (np[t.0] + 1) as f64;
                 if best.as_ref().is_none_or(|(g, _)| gain > *g) {
                     best = Some((gain, t));
@@ -77,25 +85,26 @@ impl<'a> Cpa<'a> {
                 np[t.0] = contracted_np[node];
             }
         }
-        list_schedule(self.model, graph, &np)
+        let table = CostTable::new(self.model, graph.len());
+        list_schedule_with(&table, graph, &np)
     }
 
-    fn time(&self, graph: &TaskGraph, t: TaskId, np: usize) -> f64 {
-        pt_cost::task_time_optimistic(self.model, graph.task(t), np.max(1))
+    fn time(&self, table: &CostTable<'_>, graph: &TaskGraph, t: TaskId, np: usize) -> f64 {
+        table.optimistic(t, graph.task(t), np.max(1))
     }
 
     /// Critical-path length and the set of tasks on a critical path,
     /// including symbolic edge (re-distribution) delays.
-    fn critical_path(&self, graph: &TaskGraph, np: &[usize]) -> (f64, Vec<TaskId>) {
+    fn critical_path(
+        &self,
+        table: &CostTable<'_>,
+        graph: &TaskGraph,
+        np: &[usize],
+    ) -> (f64, Vec<TaskId>) {
         let edge_cost = |a: TaskId, b: TaskId| -> f64 {
             let e = graph.edge(a, b).expect("edge");
             // Conservative: producer/consumer on different sets.
-            symbolic_redist(
-                self.model,
-                e,
-                &vec![0; np[a.0].max(1)],
-                &vec![1; np[b.0].max(1)],
-            )
+            symbolic_redist_disjoint(self.model, e, np[a.0].max(1), np[b.0].max(1))
         };
         let order = graph.topo_order();
         let mut tl = vec![0.0f64; graph.len()];
@@ -104,7 +113,7 @@ impl<'a> Cpa<'a> {
             for &pr in graph.preds(u) {
                 base = base.max(tl[pr.0] + edge_cost(pr, u));
             }
-            tl[u.0] = base + self.time(graph, u, np[u.0]);
+            tl[u.0] = base + self.time(table, graph, u, np[u.0]);
         }
         let mut bl = vec![0.0f64; graph.len()];
         for &u in order.iter().rev() {
@@ -112,24 +121,26 @@ impl<'a> Cpa<'a> {
             for &s in graph.succs(u) {
                 base = base.max(bl[s.0] + edge_cost(u, s));
             }
-            bl[u.0] = base + self.time(graph, u, np[u.0]);
+            bl[u.0] = base + self.time(table, graph, u, np[u.0]);
         }
         let tcp = tl.iter().copied().fold(0.0, f64::max);
         let eps = 1e-12 + tcp * 1e-9;
         let on_cp: Vec<TaskId> = graph
             .task_ids()
             .filter(|t| !graph.task(*t).is_structural())
-            .filter(|t| (tl[t.0] + bl[t.0] - self.time(graph, *t, np[t.0]) - tcp).abs() <= eps)
+            .filter(|t| {
+                (tl[t.0] + bl[t.0] - self.time(table, graph, *t, np[t.0]) - tcp).abs() <= eps
+            })
             .collect();
         (tcp, on_cp)
     }
 
     /// Average area `TA = (1/P) Σ np·T(t, np)`.
-    fn average_area(&self, graph: &TaskGraph, np: &[usize]) -> f64 {
+    fn average_area(&self, table: &CostTable<'_>, graph: &TaskGraph, np: &[usize]) -> f64 {
         let p = self.model.spec.total_cores() as f64;
         graph
             .task_ids()
-            .map(|t| np[t.0] as f64 * self.time(graph, t, np[t.0]))
+            .map(|t| np[t.0] as f64 * self.time(table, graph, t, np[t.0]))
             .sum::<f64>()
             / p
     }

@@ -13,9 +13,9 @@
 //! re-distribution traffic the internal (symbolic) metric underestimates —
 //! exactly the behaviour of the paper's Fig. 13 (right).
 
-use crate::list::list_schedule;
+use crate::list::list_schedule_with;
 use crate::schedule::SymbolicSchedule;
-use pt_cost::CostModel;
+use pt_cost::{CostModel, CostTable};
 use pt_mtask::{chain::ChainGraph, TaskGraph, TaskId};
 
 /// The CPR scheduler.
@@ -46,7 +46,8 @@ impl<'a> Cpr<'a> {
                 np[t.0] = contracted_np[node];
             }
         }
-        list_schedule(self.model, graph, &np)
+        let table = CostTable::new(self.model, graph.len());
+        list_schedule_with(&table, graph, &np)
     }
 
     /// The iterative allocation: repeatedly widen the tasks of the current
@@ -63,14 +64,15 @@ impl<'a> Cpr<'a> {
     /// (the behaviour the paper reports in Fig. 13 right).
     pub fn allocate(&self, graph: &TaskGraph) -> Vec<usize> {
         let p = self.model.spec.total_cores();
+        // One memo table across every round: each round's list schedule and
+        // level computation re-price mostly unchanged `(task, np)` pairs.
+        let table = CostTable::new(self.model, graph.len());
         let mut np = vec![1usize; graph.len()];
-        let mut current = list_schedule(self.model, graph, &np).makespan();
+        let mut current = list_schedule_with(&table, graph, &np).makespan();
         let mut best = current;
         let mut best_np = np.clone();
         for _round in 0..p {
-            let time_of = |t: TaskId| {
-                pt_cost::task_time_optimistic(self.model, graph.task(t), np[t.0].max(1))
-            };
+            let time_of = |t: TaskId| table.optimistic(t, graph.task(t), np[t.0].max(1));
             let bl = graph.bottom_levels(time_of);
             let tl = graph.top_levels(time_of);
             let tcp = graph.task_ids().map(|t| tl[t.0]).fold(0.0f64, f64::max);
@@ -86,7 +88,7 @@ impl<'a> Cpr<'a> {
             for &t in &critical {
                 np[t.0] += 1;
             }
-            let m = list_schedule(self.model, graph, &np).makespan();
+            let m = list_schedule_with(&table, graph, &np).makespan();
             if m > current * (1.0 + self.min_gain) {
                 for &t in &critical {
                     np[t.0] -= 1;
@@ -106,6 +108,7 @@ impl<'a> Cpr<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::list::list_schedule;
     use pt_machine::platforms;
     use pt_mtask::{CommOp, EdgeData, MTask};
 

@@ -8,7 +8,7 @@
 //! free earliest.
 
 use crate::schedule::{ScheduledTask, SymbolicSchedule};
-use pt_cost::CostModel;
+use pt_cost::{CostModel, CostTable};
 use pt_mtask::{EdgeData, TaskGraph, TaskId};
 
 /// Symbolic estimate of the re-distribution delay of an edge when producer
@@ -23,15 +23,42 @@ pub fn symbolic_redist(
     if edge.bytes == 0.0 {
         return 0.0;
     }
-    let mut a: Vec<usize> = src.to_vec();
-    let mut b: Vec<usize> = dst.to_vec();
-    a.sort_unstable();
-    b.sort_unstable();
-    if a == b {
+    // Same core set ⇒ no data moves.  Core lists are usually kept sorted by
+    // the schedulers, so try the allocation-free comparisons first and only
+    // sort copies when an equal-length pair arrives unordered.
+    if src.len() == dst.len() {
+        let same = src == dst || {
+            let sorted = |s: &[usize]| s.windows(2).all(|w| w[0] <= w[1]);
+            if sorted(src) && sorted(dst) {
+                false // both sorted and not equal ⇒ different sets
+            } else {
+                let mut a: Vec<usize> = src.to_vec();
+                let mut b: Vec<usize> = dst.to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            }
+        };
+        if same {
+            return 0.0;
+        }
+    }
+    symbolic_redist_disjoint(model, edge, src.len(), dst.len())
+}
+
+/// [`symbolic_redist`] when producer and consumer sets are known (or
+/// conservatively assumed) to differ — only the group sizes matter.
+pub fn symbolic_redist_disjoint(
+    model: &CostModel<'_>,
+    edge: &EdgeData,
+    src_n: usize,
+    dst_n: usize,
+) -> f64 {
+    if edge.bytes == 0.0 {
         return 0.0;
     }
     let link = model.spec.slowest_link();
-    let par = src.len().min(dst.len()).max(1) as f64;
+    let par = src_n.min(dst_n).max(1) as f64;
     link.latency_s + edge.bytes / par / link.bytes_per_s
 }
 
@@ -44,14 +71,25 @@ pub fn list_schedule(
     graph: &TaskGraph,
     alloc: &[usize],
 ) -> SymbolicSchedule {
+    let table = CostTable::new(model, graph.len());
+    list_schedule_with(&table, graph, alloc)
+}
+
+/// [`list_schedule`] with a caller-provided cost memo table — CPR calls the
+/// list scheduler once per allocation round, re-pricing mostly unchanged
+/// `(task, np)` pairs.
+pub fn list_schedule_with(
+    table: &CostTable<'_>,
+    graph: &TaskGraph,
+    alloc: &[usize],
+) -> SymbolicSchedule {
+    let model = table.model();
     let p = model.spec.total_cores();
     let n = graph.len();
     assert_eq!(alloc.len(), n, "one allocation per task");
 
     // Priorities: bottom levels under the allocated execution times.
-    let time_of = |t: TaskId| -> f64 {
-        pt_cost::task_time_optimistic(model, graph.task(t), alloc[t.0].max(1))
-    };
+    let time_of = |t: TaskId| -> f64 { table.optimistic(t, graph.task(t), alloc[t.0].max(1)) };
     let bl = graph.bottom_levels(time_of);
 
     let mut core_free = vec![0.0f64; p];
@@ -63,6 +101,7 @@ pub fn list_schedule(
         .filter(|t| remaining_preds[t.0] == 0)
         .collect();
     let mut entries: Vec<ScheduledTask> = Vec::with_capacity(n);
+    let mut order: Vec<usize> = (0..p).collect();
 
     while let Some(pos) = ready
         .iter()
@@ -72,9 +111,13 @@ pub fn list_schedule(
     {
         let t = ready.swap_remove(pos);
         let np = alloc[t.0].clamp(1, p);
-        // Pick the np cores that free up earliest (stable by index).
-        let mut order: Vec<usize> = (0..p).collect();
-        order.sort_by(|&a, &b| core_free[a].total_cmp(&core_free[b]).then(a.cmp(&b)));
+        // Pick the np cores that free up earliest (stable by index): the
+        // key (free time, index) is distinct per core, so a linear-time
+        // selection yields the same set as a full sort.  `order` stays a
+        // permutation of 0..p across iterations.
+        order.select_nth_unstable_by(np - 1, |&a, &b| {
+            core_free[a].total_cmp(&core_free[b]).then(a.cmp(&b))
+        });
         let mut cores: Vec<usize> = order[..np].to_vec();
         cores.sort_unstable();
 

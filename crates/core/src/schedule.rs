@@ -53,14 +53,28 @@ impl SymbolicSchedule {
     }
 
     /// Entry for a task, if scheduled.
+    ///
+    /// Linear scan — for repeated lookups build an [`index`](Self::index)
+    /// once instead.
     pub fn entry(&self, task: TaskId) -> Option<&ScheduledTask> {
         self.entries.iter().find(|e| e.task == task)
+    }
+
+    /// Map from task to its dispatch position (index into `entries`),
+    /// built in one pass.  If a task appears twice — invalid, caught by
+    /// [`validate`](Self::validate) — the last occurrence wins.
+    pub fn index(&self) -> std::collections::HashMap<TaskId, usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.task, i))
+            .collect()
     }
 
     /// Check structural invariants; returns a description of the first
     /// violation.
     pub fn validate(&self, graph: &pt_mtask::TaskGraph) -> Result<(), String> {
-        let mut position = std::collections::HashMap::new();
+        let mut position = std::collections::HashMap::with_capacity(self.entries.len());
         for (i, e) in self.entries.iter().enumerate() {
             if e.cores.is_empty() {
                 return Err(format!("entry {i}: empty core set"));
@@ -289,6 +303,17 @@ mod tests {
             }],
         };
         assert!(bad.validate(&g).is_err());
+    }
+
+    #[test]
+    fn index_maps_every_task_to_its_position() {
+        let s = two_layer_schedule().to_symbolic();
+        let idx = s.index();
+        assert_eq!(idx.len(), s.entries.len());
+        for (i, e) in s.entries.iter().enumerate() {
+            assert_eq!(idx[&e.task], i);
+            assert_eq!(s.entry(e.task).map(|x| x.task), Some(e.task));
+        }
     }
 
     #[test]

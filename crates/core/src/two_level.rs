@@ -38,10 +38,15 @@ impl<'a> LayerScheduler<'a> {
             total_cores: total,
             layers: Vec::new(),
         };
+        // One memo table for the whole graph: tasks re-priced at the same
+        // width across layers (and inside each layer's g-sweep) hit cache.
+        let table = pt_cost::CostTable::with_width(self.model, cg.graph.len(), total);
+        let mut scratch = crate::layer_sched::LptScratch::default();
         for layer in pt_mtask::layers(&cg.graph) {
             let tasks: Vec<(TaskId, &MTask)> =
                 layer.iter().map(|&t| (t, cg.graph.task(t))).collect();
-            let (sizes, assignment) = self.schedule_layer(&tasks, total);
+            let (sizes, assignment) =
+                self.schedule_layer_scratch(&table, &tasks, total, &mut scratch);
             let assignments = assignment
                 .into_iter()
                 .map(|ts| {

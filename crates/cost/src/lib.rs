@@ -28,10 +28,12 @@ pub mod collectives;
 pub mod context;
 pub mod redist;
 pub mod symbolic;
+pub mod table;
 
 pub use collectives::CostModel;
 pub use context::CommContext;
 pub use symbolic::task_time_optimistic;
+pub use table::CostTable;
 
 #[cfg(test)]
 mod tests {

@@ -15,12 +15,15 @@ impl CostModel<'_> {
     /// Upper-bound execution time of `task` on `q` symbolic cores (uniform
     /// slowest-level network).
     pub fn task_time_symbolic(&self, task: &MTask, q: usize) -> f64 {
+        debug_assert!(q >= 1, "task {:?}: zero-core width priced", task.name);
         let q = match task.max_cores {
             Some(cap) => q.min(cap),
             None => q,
         };
         if q == 0 {
-            return 0.0;
+            // A zero-core assignment can never execute; pricing it as free
+            // would let degenerate group sizes win any width sweep.
+            return f64::INFINITY;
         }
         let compute = self.spec.compute_time(task.work) / q as f64;
         // Default mapping pattern `dmp`: slowest link for everything, with
@@ -49,12 +52,13 @@ impl CostModel<'_> {
 /// growth and NIC contention that the real machine (and this crate's
 /// simulator) charge.
 pub fn task_time_optimistic(model: &CostModel<'_>, task: &MTask, q: usize) -> f64 {
+    debug_assert!(q >= 1, "task {:?}: zero-core width priced", task.name);
     let q = match task.max_cores {
         Some(cap) => q.min(cap),
         None => q,
     };
     if q == 0 {
-        return 0.0;
+        return f64::INFINITY;
     }
     let compute = model.spec.compute_time(task.work) / q as f64;
     let link = model.spec.slowest_link();
@@ -136,6 +140,20 @@ mod tests {
                 "q={q}: symbolic {sym} must bound consecutive {real}"
             );
         }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "zero-core width"))]
+    fn zero_core_width_is_infinite_not_free() {
+        // Regression: q = 0 used to divide work by zero *after* the q.max(1)
+        // clamps were removed, pricing an impossible assignment as NaN/free.
+        // Debug builds assert; release builds return +inf so no scheduler
+        // can ever prefer a zero-core width.
+        let spec = platforms::chic();
+        let m = CostModel::new(&spec);
+        let task = MTask::compute("t", 1e9);
+        assert_eq!(m.task_time_symbolic(&task, 0), f64::INFINITY);
+        assert_eq!(task_time_optimistic(&m, &task, 0), f64::INFINITY);
     }
 
     #[test]

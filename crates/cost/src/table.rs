@@ -1,0 +1,319 @@
+//! Per-schedule memoization of the width-dependent cost functions.
+//!
+//! The scheduling algorithms price the same `(task, width)` pair many
+//! times: the layer scheduler's g-sweep re-prices every task of a layer at
+//! every candidate group size, CPA's allocation loop re-prices the whole
+//! graph once per granted core, and CPR re-runs a full list schedule per
+//! round.  Both cost functions ([`CostModel::task_time_symbolic`] and
+//! [`task_time_optimistic`](crate::task_time_optimistic)) are pure in
+//! `(task, q)` for a fixed model, so a [`CostTable`] caches them in a dense
+//! `task × width` table and each pair is computed at most once per
+//! schedule.
+//!
+//! Widths above a task's `max_cores` cap collapse onto the capped width, so
+//! all of them share one entry.  The table is stored *width-major*: one
+//! column of `tasks` cells per core count, allocated lazily on first touch.
+//! That matches the access pattern — a g-sweep over `P` cores prices every
+//! task at only the `⌊P/g⌋`/`⌈P/g⌉` widths (O(√P) distinct values), so a
+//! task-major layout would allocate and sentinel-fill `P + 1` cells per
+//! task to use a handful of them.  Cells are atomics, so one table can be
+//! shared by the scheduler's parallel g-sweep workers without locking: a
+//! racing duplicate computation stores the same deterministic value.
+
+use crate::collectives::CostModel;
+use crate::symbolic::task_time_optimistic;
+use pt_mtask::{MTask, TaskId};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Bit pattern marking an empty cell.  `f64::to_bits` of any value the cost
+/// functions return (finite positives or `+inf`) never produces it.
+const UNSET: u64 = u64::MAX;
+
+/// Which of the two width-dependent cost functions a row caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Symbolic,
+    Optimistic,
+}
+
+/// A lazily filled memo table for `Tsymb(task, q)` and its optimistic
+/// (CPA/CPR) counterpart, keyed by task id × core count.
+///
+/// Create one per scheduling run over the graph whose `TaskId`s are used to
+/// index it (for the layer scheduler that is the chain-contracted graph).
+#[derive(Debug)]
+pub struct CostTable<'a> {
+    model: &'a CostModel<'a>,
+    /// Number of task ids the table covers (cells per column).
+    tasks: usize,
+    /// Columns per kind (`max_q + 1`: one per width `0..=max_q`).  Widths
+    /// beyond `max_q` are computed directly, uncached.
+    widths: usize,
+    /// One column per width and kind (symbolic first, then optimistic); a
+    /// column holds `tasks` cells.  A single set keeps construction to one
+    /// zeroed allocation.
+    columns: ColumnSet,
+    /// Cost-function evaluations actually performed (cache misses).
+    misses: AtomicUsize,
+}
+
+/// Lazily allocated columns of `tasks` cells each, installed lock-free via
+/// a null-sentinel pointer CAS.  A plain `Vec<OnceLock<Box<[AtomicU64]>>>`
+/// would work, but constructing thousands of `OnceLock`s per schedule run
+/// is measurably slow; a null-pointer slot vector is a single memset.
+struct ColumnSet {
+    /// Cells per column; every installed pointer owns exactly this many.
+    tasks: usize,
+    slots: Vec<AtomicPtr<AtomicU64>>,
+}
+
+impl ColumnSet {
+    fn new(widths: usize, tasks: usize) -> Self {
+        // A null `AtomicPtr` is all-zero bits, so the slot vector can come
+        // straight from `alloc_zeroed` (fresh zero pages, no element loop —
+        // this runs once per schedule with `widths ≈ P`).
+        let slots = unsafe {
+            let layout = std::alloc::Layout::array::<AtomicPtr<AtomicU64>>(widths)
+                .expect("slot vector fits in memory");
+            let ptr = if widths == 0 {
+                std::ptr::NonNull::<AtomicPtr<AtomicU64>>::dangling().as_ptr()
+            } else {
+                let raw = std::alloc::alloc_zeroed(layout) as *mut AtomicPtr<AtomicU64>;
+                if raw.is_null() {
+                    std::alloc::handle_alloc_error(layout);
+                }
+                raw
+            };
+            Vec::from_raw_parts(ptr, widths, widths)
+        };
+        ColumnSet { tasks, slots }
+    }
+
+    /// The column for width `q`, or `None` when `q` is out of range.
+    /// Allocates and installs the column on first touch.
+    fn column(&self, q: usize) -> Option<&[AtomicU64]> {
+        let slot = self.slots.get(q)?;
+        let p = slot.load(Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: a non-null slot holds a pointer leaked from a
+            // `Box<[AtomicU64]>` of length `self.tasks`, freed only in Drop.
+            return Some(unsafe { std::slice::from_raw_parts(p, self.tasks) });
+        }
+        let col: Box<[AtomicU64]> = (0..self.tasks).map(|_| AtomicU64::new(UNSET)).collect();
+        let raw = Box::into_raw(col) as *mut AtomicU64;
+        match slot.compare_exchange(
+            std::ptr::null_mut(),
+            raw,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Some(unsafe { std::slice::from_raw_parts(raw, self.tasks) }),
+            Err(winner) => {
+                // Another thread installed first; drop our copy.
+                // SAFETY: `raw` came from `Box::into_raw` just above and was
+                // never shared.
+                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, self.tasks)) });
+                Some(unsafe { std::slice::from_raw_parts(winner, self.tasks) })
+            }
+        }
+    }
+}
+
+impl Drop for ColumnSet {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // SAFETY: installed pointers own a `tasks`-length boxed
+                // slice; Drop has exclusive access.
+                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, self.tasks)) });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ColumnSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self
+            .slots
+            .iter()
+            .filter(|s| !s.load(Ordering::Relaxed).is_null())
+            .count();
+        write!(
+            f,
+            "ColumnSet {{ widths: {}, filled: {filled} }}",
+            self.slots.len()
+        )
+    }
+}
+
+impl<'a> CostTable<'a> {
+    /// Empty table for `tasks` task ids and widths `1..=max_q`.
+    pub fn with_width(model: &'a CostModel<'a>, tasks: usize, max_q: usize) -> Self {
+        CostTable {
+            model,
+            tasks,
+            widths: max_q + 1,
+            columns: ColumnSet::new(2 * (max_q + 1), tasks),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Empty table for `tasks` task ids, sized to the model's machine.
+    pub fn new(model: &'a CostModel<'a>, tasks: usize) -> Self {
+        Self::with_width(model, tasks, model.spec.total_cores())
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &'a CostModel<'a> {
+        self.model
+    }
+
+    /// Memoized [`CostModel::task_time_symbolic`].  `task` must be the task
+    /// `id` refers to.
+    pub fn symbolic(&self, id: TaskId, task: &MTask, q: usize) -> f64 {
+        self.lookup(Kind::Symbolic, id, task, q)
+    }
+
+    /// Memoized [`task_time_optimistic`].  `task` must be the task `id`
+    /// refers to.
+    pub fn optimistic(&self, id: TaskId, task: &MTask, q: usize) -> f64 {
+        self.lookup(Kind::Optimistic, id, task, q)
+    }
+
+    /// Number of underlying cost-function evaluations so far.  Under
+    /// concurrent access a pair may rarely be evaluated twice (both writes
+    /// store the same value); single-threaded use counts exactly the
+    /// distinct pairs priced.
+    pub fn evaluations(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn lookup(&self, kind: Kind, id: TaskId, task: &MTask, q: usize) -> f64 {
+        debug_assert!(q >= 1, "task {:?}: zero-core width priced", task.name);
+        // Capped widths all hit the capped entry.
+        let q = match task.max_cores {
+            Some(cap) if cap < q => cap,
+            _ => q,
+        };
+        if q == 0 {
+            return f64::INFINITY;
+        }
+        let compute = || {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            match kind {
+                Kind::Symbolic => self.model.task_time_symbolic(task, q),
+                Kind::Optimistic => task_time_optimistic(self.model, task, q),
+            }
+        };
+        // Out-of-range pairs stay correct, just uncached.
+        if id.0 >= self.tasks || q >= self.widths {
+            return compute();
+        }
+        let slot = match kind {
+            Kind::Symbolic => q,
+            Kind::Optimistic => self.widths + q,
+        };
+        let Some(col) = self.columns.column(slot) else {
+            return compute();
+        };
+        let cell = &col[id.0];
+        let bits = cell.load(Ordering::Relaxed);
+        if bits != UNSET {
+            return f64::from_bits(bits);
+        }
+        let value = compute();
+        cell.store(value.to_bits(), Ordering::Relaxed);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_machine::platforms;
+    use pt_mtask::CommOp;
+
+    fn tasks() -> Vec<MTask> {
+        vec![
+            MTask::with_comm("a", 1e9, vec![CommOp::allgather(8e5, 2.0)]),
+            MTask::compute("b", 3e8).max_cores(4),
+        ]
+    }
+
+    #[test]
+    fn memoized_values_match_direct_computation() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let ts = tasks();
+        let table = CostTable::new(&model, ts.len());
+        for (i, t) in ts.iter().enumerate() {
+            for q in 1..=spec.total_cores() {
+                let id = TaskId(i);
+                assert_eq!(table.symbolic(id, t, q), model.task_time_symbolic(t, q));
+                assert_eq!(
+                    table.optimistic(id, t, q),
+                    task_time_optimistic(&model, t, q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_pair_is_priced_once() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let ts = tasks();
+        let table = CostTable::new(&model, ts.len());
+        for _ in 0..5 {
+            for (i, t) in ts.iter().enumerate() {
+                for q in [1usize, 2, 7, 32] {
+                    table.symbolic(TaskId(i), t, q);
+                }
+            }
+        }
+        // Task "b" caps at 4 cores: widths 7 and 32 share the q=4 entry,
+        // so it contributes 3 distinct evaluations to the 4×2 sweep.
+        assert_eq!(table.evaluations(), 4 + 3);
+    }
+
+    #[test]
+    fn capped_width_shares_the_capped_entry() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let ts = tasks();
+        let table = CostTable::new(&model, ts.len());
+        let before = table.evaluations();
+        let a = table.symbolic(TaskId(1), &ts[1], 4);
+        let b = table.symbolic(TaskId(1), &ts[1], 32);
+        assert_eq!(a, b);
+        assert_eq!(table.evaluations() - before, 1);
+    }
+
+    #[test]
+    fn table_is_shareable_across_threads() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let ts = tasks();
+        let table = CostTable::new(&model, ts.len());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (i, t) in ts.iter().enumerate() {
+                        for q in 1..=32 {
+                            table.symbolic(TaskId(i), t, q);
+                        }
+                    }
+                });
+            }
+        });
+        for (i, t) in ts.iter().enumerate() {
+            for q in 1..=32 {
+                assert_eq!(
+                    table.symbolic(TaskId(i), t, q),
+                    model.task_time_symbolic(t, q)
+                );
+            }
+        }
+    }
+}

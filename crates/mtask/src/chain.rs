@@ -79,7 +79,20 @@ impl ChainGraph {
                 for &t in chain {
                     let task = g.task(t);
                     merged.work += task.work;
-                    merged.comm.extend(task.comm.iter().cloned());
+                    for op in &task.comm {
+                        // Coalesce identical collectives: cost is linear in
+                        // `count`, so `k` repeats of one op price the same
+                        // as a single op with `k×` the count — and the
+                        // schedulers re-price merged chains at many widths.
+                        match merged
+                            .comm
+                            .iter_mut()
+                            .find(|m| m.kind == op.kind && m.bytes == op.bytes)
+                        {
+                            Some(m) => m.count += op.count,
+                            None => merged.comm.push(op.clone()),
+                        }
+                    }
                     cap = match (cap, task.max_cores) {
                         (None, c) => c,
                         (c, None) => c,
@@ -91,12 +104,14 @@ impl ChainGraph {
             };
             graph.add_task(node);
         }
-        // External edges: between different chains only.
+        // External edges: between different chains only.  The contracted
+        // graph is a quotient of a DAG along its topological order, so no
+        // cycle can appear — skip `add_edge`'s per-edge path check.
         for (a, b, data) in g.edges() {
             let ca = chain_of[a.0];
             let cb = chain_of[b.0];
             if ca != cb {
-                graph.add_edge(TaskId(ca), TaskId(cb), *data);
+                graph.add_edge_trusted(TaskId(ca), TaskId(cb), *data);
             }
         }
 

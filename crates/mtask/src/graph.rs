@@ -93,22 +93,63 @@ pub struct TaskGraph {
     // Serialised as a sequence of entries: JSON map keys must be strings,
     // so a tuple-keyed map needs the seq form.
     #[serde(with = "edge_map_serde")]
-    edge_data: HashMap<(usize, usize), EdgeData>,
+    edge_data: EdgeMap,
+}
+
+/// Edge payloads keyed by `(from, to)` index pair.
+///
+/// Uses a fixed multiply-xor hasher instead of the default `RandomState`:
+/// edge keys are small trusted integers (no DoS surface), SipHash shows up
+/// in graph-construction profiles, and a fixed seed makes iteration order —
+/// and everything derived from it, like chain-contracted graphs — identical
+/// across processes.
+pub(crate) type EdgeMap =
+    HashMap<(usize, usize), EdgeData, std::hash::BuildHasherDefault<FxPairHasher>>;
+
+/// `FxHash`-style multiply-xor hasher for edge-index pairs.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxPairHasher(u64);
+
+impl std::hash::Hasher for FxPairHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only fixed-width integer keys are ever hashed; route any other
+        // use through the usize path for correctness.
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        // Firefox's FxHash step: rotate-xor then multiply by a constant
+        // with good bit dispersion.
+        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 mod edge_map_serde {
-    use super::EdgeData;
+    use super::{EdgeData, EdgeMap};
     use serde::{Deserialize, Error, Serialize, Value};
-    use std::collections::HashMap;
 
-    pub fn serialize(map: &HashMap<(usize, usize), EdgeData>) -> Value {
+    pub fn serialize(map: &EdgeMap) -> Value {
         let mut entries: Vec<(usize, usize, EdgeData)> =
             map.iter().map(|(&(a, b), d)| (a, b, *d)).collect();
         entries.sort_by_key(|e| (e.0, e.1));
         entries.serialize()
     }
 
-    pub fn deserialize(v: &Value) -> Result<HashMap<(usize, usize), EdgeData>, Error> {
+    pub fn deserialize(v: &Value) -> Result<EdgeMap, Error> {
         let entries = Vec::<(usize, usize, EdgeData)>::deserialize(v)?;
         Ok(entries.into_iter().map(|(a, b, e)| ((a, b), e)).collect())
     }
@@ -136,6 +177,21 @@ impl TaskGraph {
     pub fn add_edge(&mut self, from: TaskId, to: TaskId, data: EdgeData) {
         assert_ne!(from, to, "self-loop on task {:?}", from);
         assert!(
+            !self.has_path(to, from),
+            "edge {:?} -> {:?} would create a cycle",
+            from,
+            to
+        );
+        self.add_edge_trusted(from, to, data);
+    }
+
+    /// [`add_edge`](Self::add_edge) without the O(V+E) cycle-check walk, for
+    /// construction sites that derive edges from an existing DAG (e.g. chain
+    /// contraction) where acyclicity is inherited.  Still checked in debug
+    /// builds.
+    pub(crate) fn add_edge_trusted(&mut self, from: TaskId, to: TaskId, data: EdgeData) {
+        assert_ne!(from, to, "self-loop on task {:?}", from);
+        debug_assert!(
             !self.has_path(to, from),
             "edge {:?} -> {:?} would create a cycle",
             from,
