@@ -1,0 +1,171 @@
+//! Simulator benchmark gate (the evaluation counterpart of `bench_sched`).
+//!
+//! Times how long the simulator takes to *evaluate* a schedule — not to
+//! build it — for the workhorse graphs of the paper's evaluation:
+//!
+//! * `epol_r8` — the extrapolation ODE method with R = 8 stage chains
+//!   (76 tasks) on BRUSS2D, two unrolled time steps.
+//! * `bt_mz_c` — NAS BT-MZ class C (two layers of 256 zone tasks).
+//! * `bt_mz_d` — NAS BT-MZ class D (two layers of 1024 zone tasks).
+//!
+//! Each graph is scheduled once (untimed) by the layer scheduler on JUROPA
+//! at P ∈ {64, 256, 1024, 4096} symbolic cores; the benchmark then times
+//!
+//! * `simulate_layered` on the layered schedule, and
+//! * `simulate_flat` on its flattened form (the two-pass contention
+//!   refinement — the hot path this gate protects).
+//!
+//! Results land in `BENCH_SIM.json` at the repository root, alongside the
+//! pre-optimisation baselines (measured at commit 0a214f9 on the same
+//! container) and the resulting speedups, so regressions show up as a diff.
+//!
+//! `--quick` reduces repetitions and skips class D for CI smoke runs; the
+//! JSON is only written by full runs (so a quick CI run cannot overwrite
+//! the gate numbers with noisy single-rep timings).
+
+use pt_core::{LayerScheduler, MappingStrategy};
+use pt_cost::CostModel;
+use pt_machine::platforms;
+use serde::Serialize;
+use std::time::Instant;
+
+const CORE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
+
+/// Pre-PR means (milliseconds) measured at commit 0a214f9, same order as
+/// [`CORE_COUNTS`].
+const BASELINE_FLAT_EPOL_MS: [f64; 4] = [0.8461, 5.5625, 90.3563, 1955.2274];
+const BASELINE_FLAT_BT_C_MS: [f64; 4] = [11.0252, 11.1936, 18.3722, 37.3385];
+const BASELINE_FLAT_BT_D_MS: [f64; 4] = [119.7715, 421.4431, 423.1984, 584.8396];
+const BASELINE_LAYERED_EPOL_MS: [f64; 4] = [0.3477, 2.5642, 43.3579, 980.6286];
+const BASELINE_LAYERED_BT_C_MS: [f64; 4] = [0.1167, 0.2152, 0.4319, 1.7134];
+const BASELINE_LAYERED_BT_D_MS: [f64; 4] = [0.4034, 0.6130, 1.0324, 2.6047];
+
+#[derive(Serialize)]
+struct Entry {
+    graph: &'static str,
+    simulator: &'static str,
+    tasks: usize,
+    cores: usize,
+    /// Mean wall-clock milliseconds for one simulation.
+    sim_ms: f64,
+    /// Same quantity at the pre-optimisation baseline commit.
+    baseline_ms: f64,
+    speedup: f64,
+    reps: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    machine: &'static str,
+    baseline_commit: &'static str,
+    quick: bool,
+    results: Vec<Entry>,
+}
+
+struct Case {
+    name: &'static str,
+    graph: pt_mtask::TaskGraph,
+    /// Repetitions per core count (full mode).
+    reps: usize,
+    flat_baseline: &'static [f64; 4],
+    layered_baseline: &'static [f64; 4],
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let mut cases = vec![
+        Case {
+            name: "epol_r8",
+            graph: pt_ode::Epol::new(8).step_graph(&pt_ode::Bruss2d::new(500), 2),
+            reps: 100,
+            flat_baseline: &BASELINE_FLAT_EPOL_MS,
+            layered_baseline: &BASELINE_LAYERED_EPOL_MS,
+        },
+        Case {
+            name: "bt_mz_c",
+            graph: pt_nas::bt_mz(pt_nas::Class::C).step_graph(2),
+            reps: 20,
+            flat_baseline: &BASELINE_FLAT_BT_C_MS,
+            layered_baseline: &BASELINE_LAYERED_BT_C_MS,
+        },
+        Case {
+            name: "bt_mz_d",
+            graph: pt_nas::bt_mz(pt_nas::Class::D).step_graph(2),
+            reps: 5,
+            flat_baseline: &BASELINE_FLAT_BT_D_MS,
+            layered_baseline: &BASELINE_LAYERED_BT_D_MS,
+        },
+    ];
+    if quick {
+        cases.pop(); // class D is too heavy for a smoke run
+    }
+
+    let mut results = Vec::new();
+    for case in &cases {
+        let reps = if quick { 1 } else { case.reps };
+        for (i, &p) in CORE_COUNTS.iter().enumerate() {
+            let spec = platforms::juropa().with_cores(p);
+            let model = CostModel::new(&spec);
+            let sim = pt_sim::Simulator::new(&model);
+            let sched = LayerScheduler::new(&model).schedule(&case.graph);
+            let flat = sched.to_symbolic();
+            let mapping = MappingStrategy::Consecutive.mapping(&spec, p);
+
+            let layered_ms = time_ms(reps, || {
+                std::hint::black_box(sim.simulate_layered(&case.graph, &sched, &mapping));
+            });
+            let flat_ms = time_ms(reps, || {
+                std::hint::black_box(sim.simulate_flat(&case.graph, &flat, &mapping));
+            });
+
+            for (simulator, ms, baseline) in [
+                ("layered", layered_ms, case.layered_baseline[i]),
+                ("flat", flat_ms, case.flat_baseline[i]),
+            ] {
+                let entry = Entry {
+                    graph: case.name,
+                    simulator,
+                    tasks: case.graph.len(),
+                    cores: p,
+                    sim_ms: ms,
+                    baseline_ms: baseline,
+                    speedup: baseline / ms,
+                    reps,
+                };
+                println!(
+                    "{} {simulator} P={p}: {ms:.4} ms (baseline {:.4} ms, {:.1}x)",
+                    case.name, entry.baseline_ms, entry.speedup
+                );
+                results.push(entry);
+            }
+        }
+    }
+
+    let report = Report {
+        benchmark: "schedule evaluation (Simulator::simulate_{flat,layered} wall clock)",
+        machine: "juropa",
+        baseline_commit: "0a214f9",
+        quick,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    if quick {
+        println!("{json}");
+        println!("quick run: BENCH_SIM.json left untouched");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SIM.json");
+        std::fs::write(path, json + "\n").expect("write BENCH_SIM.json");
+        println!("wrote {path}");
+    }
+}

@@ -7,8 +7,10 @@
 //!   system) for the same schedulers.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig13
+//! cargo run -p pt-bench --release --bin fig13 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the core grid for CI smoke runs.
 
 use pt_bench::pipeline::{sequential_step, time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -17,8 +19,13 @@ use pt_machine::platforms;
 use pt_ode::{Epol, Pabm};
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let chic = platforms::chic();
-    let cores = [16usize, 32, 64, 128, 256, 512];
+    let cores: &[usize] = if quick {
+        &[16, 64, 256]
+    } else {
+        &[16, 32, 64, 128, 256, 512]
+    };
     let schedulers = [
         Scheduler::Layer,
         Scheduler::Cpa,

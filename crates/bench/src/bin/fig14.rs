@@ -8,8 +8,10 @@
 //!   application mappings produce.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig14
+//! cargo run -p pt-bench --release --bin fig14 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the message-size grid for CI smoke runs.
 
 use pt_bench::table;
 use pt_core::MappingStrategy;
@@ -17,6 +19,7 @@ use pt_cost::{CommContext, CostModel};
 use pt_machine::{platforms, CoreId};
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let spec = platforms::chic().with_cores(256);
     let model = CostModel::new(&spec);
     let strategies = [
@@ -27,7 +30,11 @@ fn main() {
 
     // ---- Left: one global allgather over all 256 cores ------------------
     // The x axis is the per-core contribution (as in the IMB benchmark).
-    let sizes_kib = [1.0f64, 4.0, 16.0, 64.0, 128.0, 512.0];
+    let sizes_kib: &[f64] = if quick {
+        &[1.0, 64.0]
+    } else {
+        &[1.0, 4.0, 16.0, 64.0, 128.0, 512.0]
+    };
     let ctx = CommContext::uniform(&spec);
     let mut rows = Vec::new();
     for s in strategies {

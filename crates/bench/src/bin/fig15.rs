@@ -6,8 +6,10 @@
 //! * Bottom right: EPOL (R = 8) on 512 JuRoPA cores.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig15
+//! cargo run -p pt-bench --release --bin fig15 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the core grid for CI smoke runs.
 
 use pt_bench::pipeline::{time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -51,9 +53,14 @@ fn sweep(
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let chic = platforms::chic();
     let juropa = platforms::juropa();
-    let cores = [32usize, 64, 128, 256, 512];
+    let cores: &[usize] = if quick {
+        &[32, 128, 512]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let headers: Vec<String> = cores.iter().map(|c| format!("{c} cores")).collect();
 
     // ---- Top: IRK K = 4 on both clusters --------------------------------
@@ -63,12 +70,12 @@ fn main() {
     table::print(
         "Fig 15 (top left): IRK K=4 time per step [ms] on CHiC (BRUSS2D)",
         &headers,
-        &sweep(&graph, &chic, &cores, Scheduler::LayerFixed(4), 2),
+        &sweep(&graph, &chic, cores, Scheduler::LayerFixed(4), 2),
     );
     table::print(
         "Fig 15 (top right): IRK K=4 time per step [ms] on JuRoPA (BRUSS2D)",
         &headers,
-        &sweep(&graph, &juropa, &cores, Scheduler::LayerFixed(4), 2),
+        &sweep(&graph, &juropa, cores, Scheduler::LayerFixed(4), 2),
     );
 
     // ---- Bottom left: DIIRK on 512 CHiC cores ----------------------------

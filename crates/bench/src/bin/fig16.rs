@@ -7,8 +7,10 @@
 //! * Bottom right: PABM runtimes on the sparse system on JuRoPA.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig16
+//! cargo run -p pt-bench --release --bin fig16 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the core grid for CI smoke runs.
 
 use pt_bench::pipeline::{sequential_step, time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -59,9 +61,14 @@ fn mapping_rows(
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let chic = platforms::chic();
     let juropa = platforms::juropa();
-    let cores = [32usize, 64, 128, 256, 512];
+    let cores: &[usize] = if quick {
+        &[32, 128, 512]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let headers: Vec<String> = cores.iter().map(|c| format!("{c} cores")).collect();
 
     // ---- Top: PAB K = 8 time per step ------------------------------------
@@ -71,12 +78,12 @@ fn main() {
     table::print(
         "Fig 16 (top left): PAB K=8 time per step [ms] on CHiC (BRUSS2D)",
         &headers,
-        &mapping_rows(&graph, &chic, &cores, 2, |t, _| 1e3 * t),
+        &mapping_rows(&graph, &chic, cores, 2, |t, _| 1e3 * t),
     );
     table::print(
         "Fig 16 (top right): PAB K=8 time per step [ms] on JuRoPA (BRUSS2D)",
         &headers,
-        &mapping_rows(&graph, &juropa, &cores, 2, |t, _| 1e3 * t),
+        &mapping_rows(&graph, &juropa, cores, 2, |t, _| 1e3 * t),
     );
 
     // ---- Bottom left: PABM dense speedups on CHiC ------------------------
@@ -87,7 +94,7 @@ fn main() {
     table::print(
         "Fig 16 (bottom left): PABM K=8 speedups on CHiC (dense system)",
         &headers,
-        &mapping_rows(&graph, &chic, &cores, 2, |t, _| seq / t),
+        &mapping_rows(&graph, &chic, cores, 2, |t, _| seq / t),
     );
 
     // ---- Bottom right: PABM sparse runtimes on JuRoPA --------------------
@@ -96,6 +103,6 @@ fn main() {
     table::print(
         "Fig 16 (bottom right): PABM K=8 time per step [ms] on JuRoPA (BRUSS2D)",
         &headers,
-        &mapping_rows(&graph, &juropa, &cores, 2, |t, _| 1e3 * t),
+        &mapping_rows(&graph, &juropa, cores, 2, |t, _| 1e3 * t),
     );
 }

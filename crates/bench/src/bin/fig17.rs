@@ -12,8 +12,10 @@
 //! few big groups lose to intra-group communication overhead.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig17
+//! cargo run -p pt-bench --release --bin fig17 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the group grid and skips class D for CI smoke runs.
 
 use pt_bench::table;
 use pt_core::MappingStrategy;
@@ -64,23 +66,30 @@ fn panel(mz: &MultiZone, machine: &ClusterSpec, cores: usize, groups: &[usize]) 
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let chic = pt_machine::platforms::chic();
     let altix = pt_machine::platforms::altix();
-    let groups = [4usize, 8, 16, 32, 64, 128, 256];
+    let groups: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256]
+    };
 
     // SP-MZ class C on 256 CHiC cores and on 256 Altix cores.
     let sp = sp_mz(Class::C);
-    panel(&sp, &chic, 256, &groups);
-    panel(&sp, &altix, 256, &groups);
+    panel(&sp, &chic, 256, groups);
+    panel(&sp, &altix, 256, groups);
 
     // BT-MZ class C on both platforms.
     let bt = bt_mz(Class::C);
-    panel(&bt, &chic, 256, &groups);
-    panel(&bt, &altix, 256, &groups);
+    panel(&bt, &chic, 256, groups);
+    panel(&bt, &altix, 256, groups);
 
     // Class D (1024 zones) on 512 Altix cores, the larger configuration.
-    let sp_d = sp_mz(Class::D);
-    panel(&sp_d, &altix, 512, &[16, 32, 64, 128, 256, 512]);
-    let bt_d = bt_mz(Class::D);
-    panel(&bt_d, &altix, 512, &[16, 32, 64, 128, 256, 512]);
+    if !quick {
+        let sp_d = sp_mz(Class::D);
+        panel(&sp_d, &altix, 512, &[16, 32, 64, 128, 256, 512]);
+        let bt_d = bt_mz(Class::D);
+        panel(&bt_d, &altix, 512, &[16, 32, 64, 128, 256, 512]);
+    }
 }

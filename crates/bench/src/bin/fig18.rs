@@ -8,8 +8,10 @@
 //! clearly helps the task-parallel version.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig18
+//! cargo run -p pt-bench --release --bin fig18 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the core grid for CI smoke runs.
 
 use pt_bench::pipeline::{time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -19,8 +21,13 @@ use pt_machine::platforms;
 use pt_ode::{Diirk, Irk, OdeSystem};
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let chic = platforms::chic();
-    let cores = [32usize, 64, 128, 256, 512];
+    let cores: &[usize] = if quick {
+        &[32, 128, 512]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let headers: Vec<String> = cores.iter().map(|c| format!("{c} cores")).collect();
     let mapping = MappingStrategy::Consecutive;
     let hybrid = HybridConfig::per_node(&chic);

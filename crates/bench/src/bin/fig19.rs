@@ -8,8 +8,10 @@
 //! node (4 threads) and needs at least K = 8 processes.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig19
+//! cargo run -p pt-bench --release --bin fig19 [-- --quick]
 //! ```
+//!
+//! `--quick` reduces the thread grid for CI smoke runs.
 
 use pt_bench::pipeline::{time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -19,9 +21,14 @@ use pt_machine::platforms;
 use pt_ode::Pabm;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let altix = platforms::altix();
     let cores = 256usize;
-    let threads = [1usize, 2, 4, 8, 16, 32];
+    let threads: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let headers: Vec<String> = threads
         .iter()
         .map(|t| format!("{}p x {t}t", cores / t))

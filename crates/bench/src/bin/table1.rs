@@ -2,10 +2,14 @@
 //! time step of the ODE solvers (data-parallel vs task-parallel).
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin table1
+//! cargo run -p pt-bench --release --bin table1 [-- --quick]
 //! ```
+//!
+//! `--quick` measures the dynamic DIIRK iteration count on a smaller
+//! instance for CI smoke runs.
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     // The paper's configurations: EPOL R = 8, IRK/DIIRK/PAB/PABM K = 8 (or
     // 4), m iterations; n and the measured dynamic I are shown for the
     // DIIRK rows.
@@ -14,7 +18,7 @@ fn main() {
 
     // Measure the dynamic inner iteration count I on a real integration.
     use pt_ode::OdeSystem as _;
-    let sys = pt_ode::Bruss2d::new(20);
+    let sys = pt_ode::Bruss2d::new(if quick { 8 } else { 20 });
     let d = pt_ode::Diirk::new(4, m);
     let (_, stats) = d.integrate(&sys, 0.0, &sys.initial_value(), 0.02, 1e-3);
     let i_dyn = stats.avg_inner().clamp(1.0, 3.0);

@@ -29,24 +29,57 @@ impl<'a> LayerScheduler<'a> {
     /// assigned to the loop node).
     pub fn schedule_on(&self, graph: &TaskGraph, total: usize) -> LayeredSchedule {
         assert!(total >= 1);
-        let cg = if self.contract_chains {
+        let cg = self.contracted(graph);
+        // One memo table for the whole graph: tasks re-priced at the same
+        // width across layers (and inside each layer's g-sweep) hit cache.
+        let table = pt_cost::CostTable::with_width(self.model, cg.graph.len(), total);
+        self.schedule_contracted(&cg, &table, total)
+    }
+
+    /// [`schedule_on`](Self::schedule_on) pricing through a caller-provided
+    /// [`CostTable`](pt_cost::CostTable) — the replanning path: after a
+    /// permanent worker loss the survivors are rescheduled with the table
+    /// of the original planning run, so every `(task, width)` pair priced
+    /// before the loss is reused.  The table must belong to the same cost
+    /// model and cover the contracted graph's task ids (one built with
+    /// `CostTable::with_width(model, graph.len(), …)` always does; chain
+    /// contraction is deterministic, so contracted ids are stable across
+    /// calls).  The result is identical to what a fresh table produces.
+    pub fn schedule_on_with(
+        &self,
+        table: &pt_cost::CostTable<'_>,
+        graph: &TaskGraph,
+        total: usize,
+    ) -> LayeredSchedule {
+        assert!(total >= 1);
+        let cg = self.contracted(graph);
+        self.schedule_contracted(&cg, table, total)
+    }
+
+    fn contracted(&self, graph: &TaskGraph) -> pt_mtask::ChainGraph {
+        if self.contract_chains {
             pt_mtask::ChainGraph::contract(graph)
         } else {
             identity_chain_graph(graph)
-        };
+        }
+    }
+
+    fn schedule_contracted(
+        &self,
+        cg: &pt_mtask::ChainGraph,
+        table: &pt_cost::CostTable<'_>,
+        total: usize,
+    ) -> LayeredSchedule {
         let mut out = LayeredSchedule {
             total_cores: total,
             layers: Vec::new(),
         };
-        // One memo table for the whole graph: tasks re-priced at the same
-        // width across layers (and inside each layer's g-sweep) hit cache.
-        let table = pt_cost::CostTable::with_width(self.model, cg.graph.len(), total);
         let mut scratch = crate::layer_sched::LptScratch::default();
         for layer in pt_mtask::layers(&cg.graph) {
             let tasks: Vec<(TaskId, &MTask)> =
                 layer.iter().map(|&t| (t, cg.graph.task(t))).collect();
             let (sizes, assignment) =
-                self.schedule_layer_scratch(&table, &tasks, total, &mut scratch);
+                self.schedule_layer_scratch(table, &tasks, total, &mut scratch);
             let assignments = assignment
                 .into_iter()
                 .map(|ts| {

@@ -32,22 +32,48 @@ impl Simulator<'_> {
         // Where each task ran: physical cores of its group.
         let mut placement: HashMap<TaskId, std::rc::Rc<Vec<CoreId>>> = HashMap::new();
         let mut now = 0.0f64;
+        // Layers of iterative applications repeat the same group structure
+        // over and over; share the mapped core sets by symbolic range and
+        // the contention context by active-range signature instead of
+        // rebuilding both every layer.
+        let mut phys_cache: HashMap<(usize, usize), std::rc::Rc<Vec<CoreId>>> = HashMap::new();
+        let mut ctx_cache: HashMap<Vec<(usize, usize)>, std::rc::Rc<CommContext>> = HashMap::new();
 
         for layer in &sched.layers {
-            let phys: Vec<std::rc::Rc<Vec<CoreId>>> = (0..layer.num_groups())
-                .map(|g| std::rc::Rc::new(mapping.map_range(layer.group_range(g))))
+            let mut ranges = Vec::with_capacity(layer.num_groups());
+            let mut lo = 0;
+            for &size in &layer.group_sizes {
+                ranges.push((lo, lo + size));
+                lo += size;
+            }
+            let phys: Vec<std::rc::Rc<Vec<CoreId>>> = ranges
+                .iter()
+                .map(|&(a, b)| {
+                    phys_cache
+                        .entry((a, b))
+                        .or_insert_with(|| std::rc::Rc::new(mapping.map_range(a..b)))
+                        .clone()
+                })
                 .collect();
-            let active: Vec<&[CoreId]> = layer
+            let signature: Vec<(usize, usize)> = layer
                 .assignments
                 .iter()
                 .enumerate()
                 .filter(|(_, ts)| !ts.is_empty())
-                .map(|(g, _)| phys[g].as_slice())
+                .map(|(g, _)| ranges[g])
                 .collect();
-            let ctx = CommContext::from_groups(spec, &active);
+            let ctx = ctx_cache
+                .entry(signature)
+                .or_insert_with_key(|sig| {
+                    let active: Vec<&[CoreId]> =
+                        sig.iter().map(|r| phys_cache[r].as_slice()).collect();
+                    std::rc::Rc::new(CommContext::from_groups(spec, &active))
+                })
+                .clone();
+            let ctx = &*ctx;
 
             // --- Re-distribution phase -----------------------------------
-            let redist = self.layer_redistribution(graph, layer, &phys, &placement, &ctx);
+            let redist = self.layer_redistribution(graph, layer, &phys, &placement, ctx);
             now += redist;
             report.total_redist += redist;
 
@@ -59,7 +85,7 @@ impl Simulator<'_> {
                 let mut cursor = now;
                 for &t in tasks {
                     let task = graph.task(t);
-                    let (dur, comm) = self.task_duration(task, cores, &ctx);
+                    let (dur, comm) = self.task_duration(task, cores, ctx);
                     report.tasks.push(TaskTiming {
                         task: t,
                         start: cursor,

@@ -77,8 +77,23 @@ impl SimReport {
     }
 
     /// Timing of a specific task, if simulated.
+    ///
+    /// Linear scan — for repeated lookups build an [`index`](Self::index)
+    /// once instead.
     pub fn task(&self, id: TaskId) -> Option<&TaskTiming> {
         self.tasks.iter().find(|t| t.task == id)
+    }
+
+    /// Map from task to its position in [`tasks`](Self::tasks), built in
+    /// one pass (parity with `SymbolicSchedule::index`).  If a task were
+    /// simulated twice the last occurrence would win; valid schedules
+    /// never produce that.
+    pub fn index(&self) -> std::collections::HashMap<TaskId, usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.task, i))
+            .collect()
     }
 
     /// Total communication time across tasks (internal comm only).
@@ -108,6 +123,9 @@ mod tests {
         assert!(r.task(TaskId(3)).is_some());
         assert!(r.task(TaskId(0)).is_none());
         assert_eq!(r.total_comm(), 0.5);
+        let idx = r.index();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[&TaskId(3)], 0);
     }
 
     #[test]

@@ -251,6 +251,96 @@ fn injected_delay_slows_but_does_not_fail_the_run() {
 }
 
 #[test]
+fn replanning_after_worker_loss_reuses_the_live_cost_table() {
+    use pt_core::LayerScheduler;
+    use pt_cost::{CostModel, CostTable};
+    use pt_machine::platforms;
+    use pt_mtask::{CommOp, DataRef, MTask, Spec};
+
+    // An EPOL-like step: four parallel stages feeding a combine task.
+    let graph = Spec::seq(vec![
+        Spec::parfor(0..4, |i| {
+            Spec::task(MTask::with_comm(
+                format!("stage{i}"),
+                1e9,
+                vec![CommOp::allgather(8e3, 1.0)],
+            ))
+            .defines([DataRef::block(format!("V{i}"), 8e3)])
+        }),
+        Spec::task(MTask::compute("combine", 1e7)).uses((0..4).map(|i| format!("V{i}"))),
+    ])
+    .compile_flat();
+
+    let spec = platforms::chic().with_nodes(2); // 8 cores
+    let model = CostModel::new(&spec);
+    let scheduler = LayerScheduler::new(&model);
+
+    // Plan for the full team through a live, reusable cost table.
+    let table = CostTable::with_width(&model, graph.len(), 8);
+    let planned = scheduler.schedule_on_with(&table, &graph, 8);
+    assert!(planned.validate().is_ok());
+    let priced_at_planning = table.evaluations();
+    assert!(priced_at_planning > 0);
+
+    // Execute the planned group structure with one worker permanently
+    // lost mid-run; the layer-granular retry shrinks the team and
+    // finishes on the survivors.
+    let barrier_task: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+        ctx.comm.barrier();
+    });
+    let mut layers = planned.layers.iter().filter_map(|layer| {
+        let mut lo = 0;
+        let mut groups = Vec::new();
+        for (g, &size) in layer.group_sizes.iter().enumerate() {
+            if !layer.assignments[g].is_empty() {
+                let tasks = vec![barrier_task.clone(); layer.assignments[g].len()];
+                groups.push(GroupPlan::new(lo..lo + size, tasks));
+            }
+            lo += size;
+        }
+        (!groups.is_empty()).then_some(groups)
+    });
+    let mut program = Program::single_layer(layers.next().expect("schedule has a layer"));
+    for groups in layers {
+        program.push_layer(groups);
+    }
+    let team = bounded(move || {
+        let team = Team::new(8);
+        let store = DataStore::new();
+        let opts = RunOptions {
+            retry: RetryPolicy::attempts(2),
+            faults: FaultPlan::new().lose_at(0, 7, 1),
+        };
+        team.run_with(&program, &store, &opts).unwrap();
+        team
+    });
+    let survivors = team.alive_workers();
+    assert_eq!(survivors, 7);
+
+    // Replan onto the survivors, once through the live table of the
+    // original planning run and once through a fresh table: identical
+    // schedules, but the live table re-prices fewer (task, width) pairs.
+    let priced_before_replan = table.evaluations();
+    let replanned = scheduler.schedule_on_with(&table, &graph, survivors);
+    let priced_by_replan = table.evaluations() - priced_before_replan;
+
+    let fresh_table = CostTable::with_width(&model, graph.len(), survivors);
+    let fresh = scheduler.schedule_on_with(&fresh_table, &graph, survivors);
+
+    assert_eq!(
+        replanned, fresh,
+        "memoized and fresh-table replans must be identical"
+    );
+    assert!(replanned.validate().is_ok());
+    assert!(
+        priced_by_replan < fresh_table.evaluations(),
+        "live table must reuse pairs priced at planning time \
+         ({priced_by_replan} new vs {} fresh)",
+        fresh_table.evaluations()
+    );
+}
+
+#[test]
 fn multi_layer_retry_only_replays_the_failed_layer() {
     // Layer 0 counts its executions; a fault in layer 1 plus retry must not
     // re-run layer 0.
