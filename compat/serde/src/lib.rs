@@ -84,6 +84,18 @@ pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)

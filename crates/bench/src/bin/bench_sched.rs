@@ -98,6 +98,21 @@ fn main() {
         }
     }
 
+    // Gate: the scheduler hot path is instrumented (pt-obs spans), but with
+    // no recorder attached it must stay within the ROADMAP threshold of
+    // 5 ms for BT-MZ class C at P = 4096 — disabled recording is one branch
+    // on an `Option`, not a regression.
+    let gate = results
+        .iter()
+        .find(|e| e.graph == "bt_mz_c" && e.cores == 4096)
+        .expect("bt_mz_c at P=4096 is always benchmarked");
+    assert!(
+        gate.construct_ms <= 5.0,
+        "recorder-off schedule construction regressed: bt_mz_c P=4096 took \
+         {:.4} ms (gate: 5 ms)",
+        gate.construct_ms
+    );
+
     let report = Report {
         benchmark: "schedule construction (LayerScheduler::schedule wall clock)",
         machine: "juropa",

@@ -152,6 +152,21 @@ fn main() {
         }
     }
 
+    // Gate: scheduling/simulation paths gained pt-obs instrumentation, but
+    // with no recorder attached the flat simulator must keep its ≥5×
+    // speedup over the 0a214f9 baseline for BT-MZ class C at P = 4096.
+    let gate = results
+        .iter()
+        .find(|e| e.graph == "bt_mz_c" && e.simulator == "flat" && e.cores == 4096)
+        .expect("flat bt_mz_c at P=4096 is always benchmarked");
+    assert!(
+        gate.speedup >= 5.0,
+        "recorder-off flat simulation regressed: bt_mz_c P=4096 took \
+         {:.4} ms, only {:.2}x over baseline (gate: 5x)",
+        gate.sim_ms,
+        gate.speedup
+    );
+
     let report = Report {
         benchmark: "schedule evaluation (Simulator::simulate_{flat,layered} wall clock)",
         machine: "juropa",

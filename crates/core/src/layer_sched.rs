@@ -19,6 +19,7 @@ use crate::adjust::{adjust_group_sizes, equal_partition};
 use crate::schedule::{LayerSchedule, LayeredSchedule};
 use pt_cost::{CostModel, CostTable};
 use pt_mtask::{chain::ChainGraph, layer::layers, MTask, TaskGraph, TaskId};
+use pt_obs::Recorder as _;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -146,6 +147,10 @@ pub struct LayerScheduler<'a> {
     /// result is identical for any worker count; see
     /// [`schedule_layer`](Self::schedule_layer).
     pub sweep_workers: Option<usize>,
+    /// Trace recorder for scheduling-phase spans and metrics (`None` — the
+    /// default — keeps the hot path free of instrumentation beyond one
+    /// branch).
+    pub recorder: Option<std::sync::Arc<pt_obs::TraceRecorder>>,
 }
 
 impl<'a> LayerScheduler<'a> {
@@ -157,7 +162,15 @@ impl<'a> LayerScheduler<'a> {
             adjust: true,
             contract_chains: true,
             sweep_workers: None,
+            recorder: None,
         }
+    }
+
+    /// Attach a trace recorder (scheduling phases appear as spans on the
+    /// scheduler's process row, cost-table misses as a counter).
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<pt_obs::TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Force a specific number of groups per layer.
@@ -252,16 +265,39 @@ impl<'a> LayerScheduler<'a> {
         assert!(!tasks.is_empty(), "cannot schedule an empty layer");
         let max_g = tasks.len().min(total);
         scratch.reset();
+        let rec = self.recorder.as_deref();
 
+        let t0 = rec.map_or(0.0, pt_obs::Recorder::now_us);
         let best_g = match self.fixed_groups {
             Some(g) => g.clamp(1, max_g),
             None => self.sweep(table, tasks, total, max_g, scratch),
         };
+        if let Some(r) = rec {
+            r.span_args(
+                crate::two_level::SCHED_PID,
+                0,
+                "g_sweep",
+                "sched",
+                t0,
+                vec![("candidates", max_g.into()), ("best_g", best_g.into())],
+            );
+        }
 
         // Re-run the winning candidate, this time materialising the
         // assignment (the sweep itself only tracks makespans).
+        let t0 = rec.map_or(0.0, pt_obs::Recorder::now_us);
         let mut assignment: Vec<Vec<usize>> = Vec::new();
         assign_lpt(table, tasks, best_g, total, scratch, Some(&mut assignment));
+        if let Some(r) = rec {
+            r.span_args(
+                crate::two_level::SCHED_PID,
+                0,
+                "lpt",
+                "sched",
+                t0,
+                vec![("tasks", tasks.len().into()), ("groups", best_g.into())],
+            );
+        }
 
         // Group adjustment: resize proportionally to assigned work.
         let sizes = if self.adjust && best_g > 1 {

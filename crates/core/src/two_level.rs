@@ -10,7 +10,11 @@
 use crate::layer_sched::LayerScheduler;
 use crate::schedule::LayeredSchedule;
 use pt_mtask::{MTask, TaskGraph, TaskId};
+use pt_obs::{keys, Recorder};
 use std::collections::HashMap;
+
+/// Chrome-trace process row used for scheduler events.
+pub const SCHED_PID: u32 = 2;
 
 /// A hierarchical schedule: the upper-level schedule plus one lower-level
 /// schedule per loop node, expressed over the loop's assigned core count.
@@ -33,7 +37,11 @@ impl<'a> LayerScheduler<'a> {
         // One memo table for the whole graph: tasks re-priced at the same
         // width across layers (and inside each layer's g-sweep) hit cache.
         let table = pt_cost::CostTable::with_width(self.model, cg.graph.len(), total);
-        self.schedule_contracted(&cg, &table, total)
+        let out = self.schedule_contracted(&cg, &table, total);
+        if let Some(r) = self.recorder.as_deref() {
+            r.add(keys::COST_EVALUATIONS, table.evaluations() as u64);
+        }
+        out
     }
 
     /// [`schedule_on`](Self::schedule_on) pricing through a caller-provided
@@ -57,11 +65,27 @@ impl<'a> LayerScheduler<'a> {
     }
 
     fn contracted(&self, graph: &TaskGraph) -> pt_mtask::ChainGraph {
-        if self.contract_chains {
+        let rec = self.recorder.as_deref();
+        let t0 = rec.map_or(0.0, Recorder::now_us);
+        let cg = if self.contract_chains {
             pt_mtask::ChainGraph::contract(graph)
         } else {
             identity_chain_graph(graph)
+        };
+        if let Some(r) = rec {
+            r.span_args(
+                SCHED_PID,
+                0,
+                "chain_contraction",
+                "sched",
+                t0,
+                vec![
+                    ("tasks", graph.len().into()),
+                    ("contracted", cg.graph.len().into()),
+                ],
+            );
         }
+        cg
     }
 
     fn schedule_contracted(
@@ -70,16 +94,46 @@ impl<'a> LayerScheduler<'a> {
         table: &pt_cost::CostTable<'_>,
         total: usize,
     ) -> LayeredSchedule {
+        let rec = self.recorder.as_deref();
         let mut out = LayeredSchedule {
             total_cores: total,
             layers: Vec::new(),
         };
         let mut scratch = crate::layer_sched::LptScratch::default();
-        for layer in pt_mtask::layers(&cg.graph) {
+        let t0 = rec.map_or(0.0, Recorder::now_us);
+        let layer_lists = pt_mtask::layers(&cg.graph);
+        if let Some(r) = rec {
+            r.span_args(
+                SCHED_PID,
+                0,
+                "layer_partition",
+                "sched",
+                t0,
+                vec![("layers", layer_lists.len().into())],
+            );
+        }
+        for (li, layer) in layer_lists.into_iter().enumerate() {
+            let t0 = rec.map_or(0.0, Recorder::now_us);
             let tasks: Vec<(TaskId, &MTask)> =
                 layer.iter().map(|&t| (t, cg.graph.task(t))).collect();
             let (sizes, assignment) =
                 self.schedule_layer_scratch(table, &tasks, total, &mut scratch);
+            if let Some(r) = rec {
+                let dur_s = (r.now_us() - t0) / 1e6;
+                r.add(keys::SCHED_LAYERS, 1);
+                r.observe(keys::SCHED_LAYER_SECONDS, dur_s);
+                r.span_args(
+                    SCHED_PID,
+                    0,
+                    &format!("layer{li}"),
+                    "sched",
+                    t0,
+                    vec![
+                        ("tasks", tasks.len().into()),
+                        ("groups", sizes.len().into()),
+                    ],
+                );
+            }
             let assignments = assignment
                 .into_iter()
                 .map(|ts| {

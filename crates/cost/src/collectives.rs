@@ -249,7 +249,64 @@ impl<'a> CostModel<'a> {
         2.0 * self.step_time(ctx, &pairs, bytes)
     }
 
+    /// Worst pairwise [`p2p`](Self::p2p) time within the group.
+    ///
+    /// `p2p` depends only on the `(node, processor)` labels of its
+    /// endpoints: intra-processor and intra-node transfers are
+    /// label-independent constants, and a cross-node transfer depends only
+    /// on the two node ids (through NIC sharing).  So instead of the
+    /// all-pairs max over `q²/2` pairs, dedup to one representative core
+    /// per distinct node plus two intra-level flags — value-identical by
+    /// construction (the test oracle below asserts bit-equality).
     fn worst_link_time(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
+        let mut seen_core = std::collections::HashSet::new();
+        let mut seen_label = std::collections::HashSet::new();
+        // One representative core per distinct node.
+        let mut node_reps: Vec<(usize, CoreId)> = Vec::new();
+        let mut intra_proc = false;
+        let mut intra_node = false;
+        for &c in cores {
+            // An exact duplicate core forms only pairs that an earlier
+            // occurrence already forms (plus the zero-cost self pair).
+            if !seen_core.insert(c.0) {
+                continue;
+            }
+            let l = self.spec.label(c);
+            if !seen_label.insert((l.node, l.processor)) {
+                // Distinct core sharing a processor with an earlier one.
+                intra_proc = true;
+                continue;
+            }
+            if node_reps.iter().any(|&(n, _)| n == l.node) {
+                // Distinct processor on an already-seen node.
+                intra_node = true;
+            } else {
+                node_reps.push((l.node, c));
+            }
+        }
+        let mut worst = 0.0f64;
+        if intra_proc {
+            worst = worst.max(
+                self.spec
+                    .link_at(CommLevel::SameProcessor)
+                    .transfer_time(bytes),
+            );
+        }
+        if intra_node {
+            worst = worst.max(self.spec.link_at(CommLevel::SameNode).transfer_time(bytes));
+        }
+        for i in 0..node_reps.len() {
+            for j in i + 1..node_reps.len() {
+                worst = worst.max(self.p2p(ctx, node_reps[i].1, node_reps[j].1, bytes));
+            }
+        }
+        worst
+    }
+
+    /// The original all-pairs formulation, kept as the oracle for the
+    /// bit-equality tests of the deduplicated [`worst_link_time`].
+    #[cfg(test)]
+    fn worst_link_time_all_pairs(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
         let mut worst = 0.0f64;
         for i in 0..cores.len() {
             for j in i + 1..cores.len() {
@@ -439,6 +496,53 @@ mod tests {
             t_scat_app < t_cons_app,
             "orthogonal comm must favour scattered app mapping ({t_scat_app} vs {t_cons_app})"
         );
+    }
+
+    #[test]
+    fn worst_link_time_dedup_is_bit_equal_to_all_pairs() {
+        let spec = platforms::chic().with_nodes(8); // 32 cores, 2 procs/node
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let consecutive: Vec<CoreId> = (0..24).map(CoreId).collect();
+        let scattered: Vec<CoreId> = (0..24).map(|i| CoreId((i % 8) * 4 + i / 8)).collect();
+        let node_local = cores(&[0, 1, 2, 3]);
+        let proc_local = cores(&[0, 1]);
+        let with_dupes = cores(&[5, 5, 5, 9, 9, 0]);
+        let singleton = cores(&[7]);
+        let empty: Vec<CoreId> = vec![];
+        for group in [
+            &consecutive,
+            &scattered,
+            &node_local,
+            &proc_local,
+            &with_dupes,
+            &singleton,
+            &empty,
+        ] {
+            for bytes in [8.0, 4096.0, 1e6] {
+                let fast = m.worst_link_time(&ctx, group, bytes);
+                let slow = m.worst_link_time_all_pairs(&ctx, group, bytes);
+                assert!(
+                    fast.to_bits() == slow.to_bits(),
+                    "dedup {fast} != all-pairs {slow} for {group:?} @ {bytes}B"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_link_time_dedup_matches_under_contention() {
+        let spec = platforms::chic().with_nodes(4);
+        let m = CostModel::new(&spec);
+        let mut ctx = CommContext::uniform(&spec);
+        // Asymmetric NIC sharing: the cross-node max must still pick the
+        // same value as the all-pairs scan.
+        ctx.sharers[1] = 3.0;
+        ctx.sharers[2] = 7.0;
+        let group: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let fast = m.worst_link_time(&ctx, &group, 1e5);
+        let slow = m.worst_link_time_all_pairs(&ctx, &group, 1e5);
+        assert_eq!(fast.to_bits(), slow.to_bits());
     }
 
     #[test]

@@ -53,4 +53,4 @@ pub use error::{CollectiveAborted, ExecError};
 pub use fault::{FaultAction, FaultKind, FaultPlan};
 pub use program::{block_range, GroupPlan, Program, TaskCtx, TaskFn};
 pub use store::{DataStore, Snapshot};
-pub use team::{RetryPolicy, RunOptions, Team};
+pub use team::{RetryPolicy, RunOptions, Team, EXEC_PID};

@@ -18,12 +18,17 @@
 //! [`restore`]: DataStore::restore
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// Concurrent map of named `Vec<f64>` arrays.
 #[derive(Debug, Default)]
 pub struct DataStore {
     map: RwLock<HashMap<String, Arc<RwLock<Vec<f64>>>>>,
+    /// Bytes published through [`put`](Self::put) /
+    /// [`write_block`](Self::write_block) — the shared-memory proxy for
+    /// re-distribution traffic, surfaced by the observability layer.
+    bytes_written: AtomicU64,
 }
 
 /// A deep copy of a [`DataStore`]'s contents at one point in time.
@@ -61,6 +66,8 @@ impl DataStore {
     /// Insert or replace an array.
     pub fn put(&self, name: impl Into<String>, data: Vec<f64>) {
         let name = name.into();
+        self.bytes_written
+            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
         let mut map = write(&self.map);
         match map.get(&name) {
             Some(cell) => *write(cell) = data,
@@ -99,12 +106,21 @@ impl DataStore {
     /// Write a contiguous block into an array (growing it if needed).
     /// Used by SPMD writers publishing disjoint owned ranges.
     pub fn write_block(&self, name: &str, offset: usize, data: &[f64]) {
+        self.bytes_written
+            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
         let h = self.handle_or_default(name);
         let mut v = write(&h);
         if v.len() < offset + data.len() {
             v.resize(offset + data.len(), 0.0);
         }
         v[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Total bytes written through [`put`](Self::put) and
+    /// [`write_block`](Self::write_block) over the store's lifetime
+    /// (monotonic; restores and removes don't subtract).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
     }
 
     /// Names currently stored (sorted, for deterministic inspection).
@@ -243,6 +259,16 @@ mod tests {
         // The pre-restore handle sees the rolled-back contents.
         assert_eq!(*h.read().unwrap(), vec![1.0]);
         assert!(Arc::ptr_eq(&h, &s.handle("a").unwrap()));
+    }
+
+    #[test]
+    fn bytes_written_counts_puts_and_blocks() {
+        let s = DataStore::new();
+        assert_eq!(s.bytes_written(), 0);
+        s.put("a", vec![1.0, 2.0]); // 16 bytes
+        s.write_block("a", 0, &[3.0]); // 8 bytes
+        s.remove("a");
+        assert_eq!(s.bytes_written(), 24); // monotonic: remove doesn't subtract
     }
 
     #[test]

@@ -32,9 +32,14 @@ use crate::error::{CollectiveAborted, ExecError};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::program::{GroupPlan, Program, TaskCtx, TaskFn};
 use crate::store::{DataStore, Snapshot};
+use pt_obs::{keys, Recorder, TraceRecorder};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Chrome-trace process row used for executor events (worker `i` records on
+/// thread row `i`; the driver records on row [`Team::size`]).
+pub const EXEC_PID: u32 = 1;
 
 /// How often (and how patiently) a failed layer is retried.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +94,20 @@ pub struct RunOptions {
     pub retry: RetryPolicy,
     /// Scripted faults for testing (default: none).
     pub faults: FaultPlan,
+    /// Trace recorder (default: none — instrumentation reduces to a branch).
+    ///
+    /// Size it with [`TraceRecorder::for_team`] so every worker plus the
+    /// driver gets a lane; undersized recorders drop (and count) the excess
+    /// instead of failing the run.
+    pub recorder: Option<Arc<TraceRecorder>>,
+}
+
+impl RunOptions {
+    /// Attach a trace recorder.
+    pub fn with_recorder(mut self, recorder: Arc<TraceRecorder>) -> RunOptions {
+        self.recorder = Some(recorder);
+        self
+    }
 }
 
 enum Msg {
@@ -134,6 +153,7 @@ struct RunShared {
     /// Whether layer snapshots are taken (retries enabled).
     snapshots: bool,
     faults: FaultPlan,
+    recorder: Option<Arc<TraceRecorder>>,
     failure: Mutex<Option<Failure>>,
     /// Snapshot taken at the start of the most recent layer.
     snapshot: Mutex<Option<Snapshot>>,
@@ -251,7 +271,12 @@ impl Team {
         let mut start_layer = 0usize;
         let mut attempt = 1u32;
         let start = Instant::now();
+        // The driver records on its own lane, past the worker lanes.
+        let rec = opts.recorder.as_deref();
+        let driver = self.size as u32;
+        let bytes_before = rec.map(|_| store.bytes_written()).unwrap_or(0);
         loop {
+            let attempt_t0 = rec.map_or(0.0, Recorder::now_us);
             let roster = lock(&self.alive).clone();
             if program.required_workers() > roster.len() {
                 return Err(ExecError::InvalidProgram(format!(
@@ -267,6 +292,7 @@ impl Team {
                 attempt,
                 snapshots,
                 faults: opts.faults.clone(),
+                recorder: opts.recorder.clone(),
                 failure: Mutex::new(None),
                 snapshot: Mutex::new(None),
             });
@@ -286,7 +312,24 @@ impl Team {
                 if report.lost {
                     any_lost = true;
                     lock(&self.alive).retain(|&w| w != report.worker);
+                    if let Some(r) = rec {
+                        r.add(keys::WORKERS_LOST, 1);
+                    }
                 }
+            }
+            if let Some(r) = rec {
+                r.span_args(
+                    EXEC_PID,
+                    driver,
+                    "attempt",
+                    "exec",
+                    attempt_t0,
+                    vec![
+                        ("start_layer", start_layer.into()),
+                        ("attempt", attempt.into()),
+                        ("workers", roster.len().into()),
+                    ],
+                );
             }
             // All workers are out of the run: communicators can be reset so
             // the caller's program (which shares them) stays reusable.
@@ -298,6 +341,12 @@ impl Team {
             }
             let Some(failure) = failure else {
                 debug_assert!(!any_lost, "worker loss must record a failure");
+                if let Some(r) = rec {
+                    r.add(
+                        keys::REDIST_BYTES,
+                        store.bytes_written().saturating_sub(bytes_before),
+                    );
+                }
                 return Ok(start.elapsed());
             };
             let (layer, err) = match &failure {
@@ -345,8 +394,31 @@ impl Team {
                 // indices and `required_workers` consistent; completed
                 // layers never re-run).
                 program = Arc::new(replan(&program, survivors));
+                if let Some(r) = rec {
+                    r.instant(
+                        EXEC_PID,
+                        driver,
+                        "replan",
+                        "exec",
+                        vec![("layer", layer.into()), ("survivors", survivors.into())],
+                    );
+                }
             }
             store.restore(&snap);
+            if let Some(r) = rec {
+                r.add(keys::ROLLBACKS, 1);
+                r.add(keys::RETRIES, 1);
+                r.instant(
+                    EXEC_PID,
+                    driver,
+                    "retry",
+                    "exec",
+                    vec![
+                        ("layer", layer.into()),
+                        ("next_attempt", (cur_attempt + 1).into()),
+                    ],
+                );
+            }
             let backoff = opts.retry.backoff(cur_attempt);
             if backoff > Duration::ZERO {
                 std::thread::sleep(backoff);
@@ -418,6 +490,8 @@ fn worker_loop(idx: usize, rx: Receiver<Msg>, done: SyncSender<WorkerReport>) {
 /// (injected as) permanently lost.
 fn run_layers(idx: usize, req: &RunRequest) -> bool {
     let sh = &req.shared;
+    let rec = sh.recorder.as_deref();
+    let tid = idx as u32;
     let me = sh
         .roster
         .iter()
@@ -433,13 +507,41 @@ fn run_layers(idx: usize, req: &RunRequest) -> bool {
         // layer; the entry barrier publishes the snapshot and guarantees no
         // task of this layer has run yet.
         if sh.snapshots && me == 0 {
+            let t0 = rec.map_or(0.0, Recorder::now_us);
             *lock(&sh.snapshot) = Some(req.store.snapshot());
+            if let Some(r) = rec {
+                r.add(keys::SNAPSHOTS, 1);
+                r.span_args(
+                    EXEC_PID,
+                    tid,
+                    "snapshot",
+                    "store",
+                    t0,
+                    vec![("layer", layer_idx.into())],
+                );
+            }
         }
+        let bar_t0 = rec.map_or(0.0, Recorder::now_us);
         if sh.barrier.wait().is_err() {
             return false;
         }
+        record_barrier(rec, tid, layer_idx, "barrier:enter", bar_t0);
         let mut inject_panic = false;
         for kind in sh.faults.firing(layer_idx, me, attempt) {
+            if let Some(r) = rec {
+                r.add(keys::FAULTS_INJECTED, 1);
+                r.instant(
+                    EXEC_PID,
+                    tid,
+                    match kind {
+                        FaultKind::Delay(_) => "fault:delay",
+                        FaultKind::Panic => "fault:panic",
+                        FaultKind::Lose => "fault:lose",
+                    },
+                    "fault",
+                    vec![("layer", layer_idx.into()), ("attempt", attempt.into())],
+                );
+            }
             match kind {
                 FaultKind::Delay(d) => std::thread::sleep(*d),
                 FaultKind::Panic => inject_panic = true,
@@ -478,8 +580,28 @@ fn run_layers(idx: usize, req: &RunRequest) -> bool {
                         "injected panic (layer {layer_idx}, rank {me}, attempt {attempt})"
                     )));
                 }
-                for task in &group.tasks {
+                for (k, task) in group.tasks.iter().enumerate() {
+                    let t0 = rec.map_or(0.0, Recorder::now_us);
                     task(&ctx);
+                    if let Some(r) = rec {
+                        let dur_s = (r.now_us() - t0) / 1e6;
+                        r.add(keys::TASKS_RUN, 1);
+                        r.observe(keys::TASK_SECONDS, dur_s);
+                        r.span_args(
+                            EXEC_PID,
+                            tid,
+                            &format!("L{layer_idx}.g{gi}.t{k}"),
+                            "task",
+                            t0,
+                            vec![
+                                ("layer", layer_idx.into()),
+                                ("group", gi.into()),
+                                ("task_index", k.into()),
+                                ("attempt", attempt.into()),
+                                ("rank", rank.into()),
+                            ],
+                        );
+                    }
                 }
             }));
             if let Err(payload) = result {
@@ -494,6 +616,16 @@ fn run_layers(idx: usize, req: &RunRequest) -> bool {
                             group: gi,
                         },
                     );
+                    if let Some(r) = rec {
+                        r.add(keys::COLLECTIVE_ABORTS, 1);
+                        r.instant(
+                            EXEC_PID,
+                            tid,
+                            "collective_abort",
+                            "fault",
+                            vec![("layer", layer_idx.into()), ("group", gi.into())],
+                        );
+                    }
                 } else {
                     record_failure(
                         sh,
@@ -505,20 +637,53 @@ fn run_layers(idx: usize, req: &RunRequest) -> bool {
                     );
                     // Unblock group peers waiting in a collective for us.
                     group.comm.poison();
+                    if let Some(r) = rec {
+                        r.instant(
+                            EXEC_PID,
+                            tid,
+                            "panic",
+                            "fault",
+                            vec![("layer", layer_idx.into()), ("group", gi.into())],
+                        );
+                    }
                 }
             }
         }
         // Layer barrier: re-distributions (DataStore writes) become visible
         // to every group before the next layer starts — and every worker
         // observes a failure of this layer at the same point.
+        let bar_t0 = rec.map_or(0.0, Recorder::now_us);
         if sh.barrier.wait().is_err() {
             return false;
         }
+        record_barrier(rec, tid, layer_idx, "barrier:exit", bar_t0);
         if lock(&sh.failure).is_some() {
             return false;
         }
     }
     false
+}
+
+/// Record one barrier wait as a span plus a histogram observation.
+fn record_barrier(
+    rec: Option<&TraceRecorder>,
+    tid: u32,
+    layer: usize,
+    name: &'static str,
+    start_us: f64,
+) {
+    if let Some(r) = rec {
+        let wait_s = (r.now_us() - start_us) / 1e6;
+        r.observe(keys::BARRIER_WAIT, wait_s);
+        r.span_args(
+            EXEC_PID,
+            tid,
+            name,
+            "barrier",
+            start_us,
+            vec![("layer", layer.into())],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,240 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! Emits the JSON Object Format: `{"traceEvents": [...]}` with complete
+//! (`ph:"X"`), instant (`ph:"i"`), counter (`ph:"C"`) and metadata
+//! (`ph:"M"`) events.  `pid`/`tid` carry the node×core grid: each cluster
+//! node is a process row, each core a thread row, so tasks lay out on a
+//! core×time Gantt chart when the file is opened in Perfetto
+//! (<https://ui.perfetto.dev>, "Open trace file") or `chrome://tracing`.
+
+use crate::event::{ArgValue, Phase, TraceEvent};
+use serde::{Deserialize, Serialize, Value};
+
+/// A trace document ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    /// The events, in any order (trace viewers sort by timestamp).
+    pub events: Vec<TraceEvent>,
+    /// Display names for process rows (`pid` → name).
+    pub process_names: Vec<(u32, String)>,
+    /// Display names for thread rows (`(pid, tid)` → name).
+    pub thread_names: Vec<(u32, u32, String)>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Append events.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = TraceEvent>) -> &mut Self {
+        self.events.extend(events);
+        self
+    }
+
+    /// Name a process row.
+    pub fn name_process(&mut self, pid: u32, name: impl Into<String>) -> &mut Self {
+        self.process_names.push((pid, name.into()));
+        self
+    }
+
+    /// Name a thread row.
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: impl Into<String>) -> &mut Self {
+        self.thread_names.push((pid, tid, name.into()));
+        self
+    }
+
+    /// Serialise to pretty-printed Chrome-trace JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialises")
+    }
+}
+
+fn args_value(args: &[(&'static str, ArgValue)]) -> Value {
+    Value::Map(
+        args.iter()
+            .map(|(k, v)| {
+                let v = match v {
+                    ArgValue::U64(u) => Value::UInt(*u),
+                    ArgValue::F64(f) => Value::Float(*f),
+                    ArgValue::Str(s) => Value::Str(s.clone()),
+                };
+                (k.to_string(), v)
+            })
+            .collect(),
+    )
+}
+
+fn event_value(ev: &TraceEvent) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".into(), Value::Str(ev.name.clone())),
+        ("cat".into(), Value::Str(ev.cat.to_string())),
+        (
+            "ph".into(),
+            Value::Str(
+                match ev.phase {
+                    Phase::Complete => "X",
+                    Phase::Instant => "i",
+                    Phase::Counter => "C",
+                }
+                .into(),
+            ),
+        ),
+        ("ts".into(), Value::Float(ev.ts_us)),
+    ];
+    match ev.phase {
+        Phase::Complete => fields.push(("dur".into(), Value::Float(ev.dur_us))),
+        // Thread-scoped instant; counters carry their value in args below.
+        Phase::Instant => fields.push(("s".into(), Value::Str("t".into()))),
+        Phase::Counter => {}
+    }
+    fields.push(("pid".into(), Value::UInt(ev.pid as u64)));
+    fields.push(("tid".into(), Value::UInt(ev.tid as u64)));
+    let mut args = args_value(&ev.args);
+    if ev.phase == Phase::Counter {
+        if let Value::Map(entries) = &mut args {
+            entries.push(("value".into(), Value::Float(ev.dur_us)));
+        }
+    }
+    fields.push(("args".into(), args));
+    Value::Map(fields)
+}
+
+fn metadata_value(name: &str, pid: u32, tid: Option<u32>, display: &str) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".into(), Value::Str(name.into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("ts".into(), Value::Float(0.0)),
+        ("pid".into(), Value::UInt(pid as u64)),
+    ];
+    fields.push(("tid".into(), Value::UInt(tid.unwrap_or(0) as u64)));
+    fields.push((
+        "args".into(),
+        Value::Map(vec![("name".into(), Value::Str(display.into()))]),
+    ));
+    Value::Map(fields)
+}
+
+impl Serialize for ChromeTrace {
+    fn serialize(&self) -> Value {
+        let mut events: Vec<Value> = Vec::with_capacity(
+            self.events.len() + self.process_names.len() + self.thread_names.len(),
+        );
+        for (pid, name) in &self.process_names {
+            events.push(metadata_value("process_name", *pid, None, name));
+        }
+        for (pid, tid, name) in &self.thread_names {
+            events.push(metadata_value("thread_name", *pid, Some(*tid), name));
+        }
+        events.extend(self.events.iter().map(event_value));
+        Value::Map(vec![
+            ("traceEvents".into(), Value::Seq(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ])
+    }
+}
+
+/// Minimal typed view of an exported trace, for validation: parses the
+/// fields every event must carry and ignores the rest.
+#[derive(Debug, Clone, Deserialize)]
+#[allow(non_snake_case)]
+pub struct TraceProbe {
+    /// The parsed events.
+    pub traceEvents: Vec<EventProbe>,
+}
+
+/// Schema-bearing fields of one exported event.
+#[derive(Debug, Clone, Deserialize)]
+pub struct EventProbe {
+    /// Display name.
+    pub name: String,
+    /// Phase letter (`X`, `i`, `C`, `M`).
+    pub ph: String,
+    /// Start microseconds.
+    pub ts: f64,
+    /// Process row.
+    pub pid: u64,
+    /// Thread row.
+    pub tid: u64,
+}
+
+impl TraceProbe {
+    /// Parse an exported trace, checking the required fields exist on every
+    /// event.
+    pub fn parse(json: &str) -> Result<TraceProbe, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Number of non-metadata events.
+    pub fn event_count(&self) -> usize {
+        self.traceEvents.iter().filter(|e| e.ph != "M").count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.name_process(0, "node0");
+        t.name_thread(0, 1, "core1");
+        t.extend([
+            TraceEvent::span(
+                "task a",
+                "task",
+                0,
+                1,
+                10.0,
+                5.0,
+                vec![("layer", 0usize.into())],
+            ),
+            TraceEvent::instant("fault", "fault", 0, 1, 12.0, vec![]),
+            TraceEvent {
+                phase: Phase::Counter,
+                ..TraceEvent::span("tasks", "metric", 0, 0, 15.0, 3.0, vec![])
+            },
+        ]);
+        t
+    }
+
+    #[test]
+    fn export_has_required_fields() {
+        let json = tiny_trace().to_json();
+        for key in [
+            "\"traceEvents\"",
+            "\"ph\": \"X\"",
+            "\"ph\": \"i\"",
+            "\"ph\": \"C\"",
+            "\"ph\": \"M\"",
+            "\"dur\": 5.0",
+            "\"ts\": 10.0",
+            "\"pid\"",
+            "\"tid\"",
+            "\"process_name\"",
+            "\"thread_name\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn probe_parses_own_export() {
+        let json = tiny_trace().to_json();
+        let probe = TraceProbe::parse(&json).expect("parses");
+        // 3 real events + 2 metadata rows.
+        assert_eq!(probe.traceEvents.len(), 5);
+        assert_eq!(probe.event_count(), 3);
+        let span = probe.traceEvents.iter().find(|e| e.ph == "X").unwrap();
+        assert_eq!(span.name, "task a");
+        assert_eq!((span.pid, span.tid), (0, 1));
+        assert_eq!(span.ts, 10.0);
+    }
+
+    #[test]
+    fn probe_rejects_malformed_json() {
+        assert!(TraceProbe::parse("{\"traceEvents\": [{}]").is_err());
+        assert!(TraceProbe::parse("{}").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! The event vocabulary shared by the recorder and the sinks.
+//!
+//! Events carry the Chrome-trace coordinate system directly: `pid` is the
+//! process row (a cluster node, or a logical source such as "scheduler"),
+//! `tid` the thread row within it (a core or worker), and times are
+//! microseconds relative to the trace epoch.
+
+/// Event kind, mirroring the Chrome-trace `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A span with a duration (`ph: "X"`).
+    Complete,
+    /// A point event (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`).
+    Counter,
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> ArgValue {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// A named event argument (rendered under the Chrome-trace `args` object).
+pub type Arg = (&'static str, ArgValue);
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (filterable in the trace viewer), e.g. `"task"`,
+    /// `"barrier"`, `"sched"`, `"sim"`.
+    pub cat: &'static str,
+    /// Event kind.
+    pub phase: Phase,
+    /// Start time in microseconds since the trace epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds ([`Phase::Complete`]), or the counter value
+    /// ([`Phase::Counter`]); unused for instants.
+    pub dur_us: f64,
+    /// Process row: cluster node or logical source.
+    pub pid: u32,
+    /// Thread row within `pid`: core or worker index.
+    pub tid: u32,
+    /// Extra key/value payload.
+    pub args: Vec<Arg>,
+}
+
+impl TraceEvent {
+    /// A complete span.
+    pub fn span(
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<Arg>,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            phase: Phase::Complete,
+            ts_us,
+            // Perfetto rejects negative durations; clock jitter between the
+            // two reads must not poison the whole trace.
+            dur_us: dur_us.max(0.0),
+            pid,
+            tid,
+            args,
+        }
+    }
+
+    /// A point event.
+    pub fn instant(
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_us: f64,
+        args: Vec<Arg>,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            phase: Phase::Instant,
+            ts_us,
+            dur_us: 0.0,
+            pid,
+            tid,
+            args,
+        }
+    }
+
+    /// End time in microseconds (equals `ts_us` for non-spans).
+    pub fn end_us(&self) -> f64 {
+        self.ts_us + self.dur_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_clamps_negative_duration() {
+        let e = TraceEvent::span("s", "t", 0, 0, 10.0, -0.5, vec![]);
+        assert_eq!(e.dur_us, 0.0);
+        assert_eq!(e.end_us(), 10.0);
+    }
+
+    #[test]
+    fn arg_conversions() {
+        assert_eq!(ArgValue::from(3usize), ArgValue::U64(3));
+        assert_eq!(ArgValue::from(1.5f64), ArgValue::F64(1.5));
+        assert_eq!(ArgValue::from("x"), ArgValue::Str("x".into()));
+    }
+}

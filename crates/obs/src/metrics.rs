@@ -1,0 +1,270 @@
+//! Named counters and histograms.
+//!
+//! Registration (name → handle) takes a read-mostly `RwLock` once per
+//! call site; the handles themselves are plain atomics, so updating a
+//! metric from many workers is wait-free.  Instrumented code that updates
+//! per event should resolve the handle once and reuse it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets; bucket `i` holds observations in
+/// `[2^(i−1), 2^i)` microseconds (bucket 0: below 1 µs).
+const BUCKETS: usize = 48;
+
+/// A histogram of non-negative `f64` observations (seconds for time-like
+/// metrics), bucketed by the log₂ of the value in microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    /// Sum as `f64` bits, updated by compare-exchange.
+    sum_bits: AtomicU64,
+    /// Max as `f64` bits.
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation (negative values clamp to zero).
+    pub fn observe(&self, value: f64) {
+        let value = value.max(0.0);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + value);
+        atomic_f64_update(&self.max_bits, |m| m.max(value));
+        let us = value * 1e6;
+        let bucket = if us < 1.0 {
+            0
+        } else {
+            (us.log2() as usize + 1).min(BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free read-modify-write of an `f64` stored as bits.
+fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Handle to the counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return c.clone();
+        }
+        write(&self.counters).entry(name).or_default().clone()
+    }
+
+    /// Handle to the histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return h.clone();
+        }
+        write(&self.histograms).entry(name).or_default().clone()
+    }
+
+    /// A serialisable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: read(&self.counters)
+                .iter()
+                .map(|(name, c)| CounterSnapshot {
+                    name: name.to_string(),
+                    value: c.get(),
+                })
+                .collect(),
+            histograms: read(&self.histograms)
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    max: h.max(),
+                    mean: if h.count() > 0 {
+                        h.sum() / h.count() as f64
+                    } else {
+                        0.0
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Point-in-time aggregate of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Mean observation.
+    pub mean: f64,
+}
+
+/// A serialisable snapshot of a whole registry (sorted by name).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Aggregate of a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        reg.counter("b").add(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::default();
+        h.observe(1e-3);
+        h.observe(2e-3);
+        h.observe(-1.0); // clamps to 0
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 3e-3).abs() < 1e-12);
+        assert_eq!(h.max(), 2e-3);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = &reg;
+                s.spawn(move || {
+                    let h = reg.histogram("t");
+                    for _ in 0..1000 {
+                        h.observe(1e-6);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let h = snap.histogram("t").unwrap();
+        assert_eq!(h.count, 8000);
+        assert!((h.sum - 8e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").add(7);
+        reg.histogram("y").observe(0.25);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,353 @@
+//! Predicted vs. simulated vs. measured cost attribution.
+//!
+//! The paper validates its cost model by comparing predicted and measured
+//! runtimes (Figs 13–19).  This module is the repo-native version of that
+//! comparison: callers feed one [`TaskSample`] per task — the scheduler's
+//! symbolic estimate (`predicted`), the simulator's mapped timeline
+//! (`simulated`), and the executor's wall clock (`measured`), each
+//! optional — and [`Reconciliation::build`] joins them into per-task and
+//! per-layer error tables plus aggregate error statistics.
+//!
+//! Errors are relative to the measured time when present (`(x − meas) /
+//! meas`), falling back to simulated as the reference when only predicted
+//! and simulated exist.  Positive error means the model *over*-estimates.
+
+use pt_mtask::TaskId;
+use serde::{Serialize, Value};
+
+/// One task's time under each of the three sources (seconds).
+#[derive(Debug, Clone)]
+pub struct TaskSample {
+    /// The task.
+    pub task: TaskId,
+    /// Display name (usually the graph's task name).
+    pub name: String,
+    /// Layer the task was scheduled into.
+    pub layer: usize,
+    /// Scheduler estimate (`task_time_symbolic`), if available.
+    pub predicted: Option<f64>,
+    /// Simulator timeline duration, if available.
+    pub simulated: Option<f64>,
+    /// Executor wall-clock duration, if available.
+    pub measured: Option<f64>,
+}
+
+/// Relative error of `x` against reference `r`, when both exist and the
+/// reference is positive.
+fn rel_err(x: Option<f64>, r: Option<f64>) -> Option<f64> {
+    match (x, r) {
+        (Some(x), Some(r)) if r > 0.0 => Some((x - r) / r),
+        _ => None,
+    }
+}
+
+/// One task's joined row.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskRow {
+    /// Raw task index.
+    pub task: usize,
+    /// Display name.
+    pub name: String,
+    /// Scheduled layer.
+    pub layer: usize,
+    /// Scheduler estimate (seconds; negative = absent).
+    pub predicted: f64,
+    /// Simulator duration (seconds; negative = absent).
+    pub simulated: f64,
+    /// Measured wall clock (seconds; negative = absent).
+    pub measured: f64,
+    /// Relative error of predicted vs. the reference.
+    pub predicted_err: f64,
+    /// Relative error of simulated vs. measured.
+    pub simulated_err: f64,
+}
+
+/// Per-layer aggregate of the rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerRow {
+    /// Layer index.
+    pub layer: usize,
+    /// Tasks in the layer.
+    pub tasks: usize,
+    /// Slowest predicted task (the layer's symbolic critical time).
+    pub predicted_max: f64,
+    /// Slowest simulated task.
+    pub simulated_max: f64,
+    /// Slowest measured task.
+    pub measured_max: f64,
+    /// Mean |relative error| of predictions in this layer.
+    pub mean_abs_predicted_err: f64,
+    /// Largest |relative error| of predictions in this layer.
+    pub max_abs_predicted_err: f64,
+}
+
+/// The joined prediction-error report.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Reconciliation {
+    /// Per-task rows, sorted by (layer, task).
+    pub tasks: Vec<TaskRow>,
+    /// Per-layer aggregates, sorted by layer.
+    pub layers: Vec<LayerRow>,
+    /// Mean |relative error| of predictions across all comparable tasks.
+    pub mean_abs_predicted_err: f64,
+    /// Largest |relative error| of predictions.
+    pub max_abs_predicted_err: f64,
+    /// Tasks where predicted and a reference time were both available.
+    pub compared: usize,
+}
+
+/// Absent times serialise as this sentinel (JSON has no `None` for plain
+/// floats in our rows; negative durations are otherwise impossible).
+const ABSENT: f64 = -1.0;
+
+impl Reconciliation {
+    /// Join samples into the report.
+    pub fn build(samples: Vec<TaskSample>) -> Reconciliation {
+        let mut tasks: Vec<TaskRow> = samples
+            .into_iter()
+            .map(|s| {
+                // Reference = measured when present, else simulated.
+                let reference = s.measured.or(s.simulated);
+                TaskRow {
+                    task: s.task.index(),
+                    name: s.name,
+                    layer: s.layer,
+                    predicted: s.predicted.unwrap_or(ABSENT),
+                    simulated: s.simulated.unwrap_or(ABSENT),
+                    measured: s.measured.unwrap_or(ABSENT),
+                    predicted_err: rel_err(s.predicted, reference).unwrap_or(0.0),
+                    simulated_err: rel_err(s.simulated, s.measured).unwrap_or(0.0),
+                }
+            })
+            .collect();
+        tasks.sort_by_key(|r| (r.layer, r.task));
+
+        let mut layers: Vec<LayerRow> = Vec::new();
+        for row in &tasks {
+            if layers.last().map(|l| l.layer) != Some(row.layer) {
+                layers.push(LayerRow {
+                    layer: row.layer,
+                    tasks: 0,
+                    predicted_max: 0.0,
+                    simulated_max: 0.0,
+                    measured_max: 0.0,
+                    mean_abs_predicted_err: 0.0,
+                    max_abs_predicted_err: 0.0,
+                });
+            }
+            let l = layers.last_mut().expect("just pushed");
+            l.tasks += 1;
+            l.predicted_max = l.predicted_max.max(row.predicted);
+            l.simulated_max = l.simulated_max.max(row.simulated);
+            l.measured_max = l.measured_max.max(row.measured);
+        }
+
+        let mut compared = 0usize;
+        let mut err_sum = 0.0;
+        let mut err_max: f64 = 0.0;
+        for l in layers.iter_mut() {
+            let rows = tasks.iter().filter(|r| r.layer == l.layer);
+            let comparable: Vec<f64> = rows
+                .filter(|r| r.predicted >= 0.0 && (r.measured >= 0.0 || r.simulated >= 0.0))
+                .map(|r| r.predicted_err.abs())
+                .collect();
+            if !comparable.is_empty() {
+                l.mean_abs_predicted_err = comparable.iter().sum::<f64>() / comparable.len() as f64;
+                l.max_abs_predicted_err = comparable.iter().fold(0.0, |m, e| m.max(*e));
+                compared += comparable.len();
+                err_sum += comparable.iter().sum::<f64>();
+                err_max = err_max.max(l.max_abs_predicted_err);
+            }
+        }
+
+        Reconciliation {
+            tasks,
+            layers,
+            mean_abs_predicted_err: if compared > 0 {
+                err_sum / compared as f64
+            } else {
+                0.0
+            },
+            max_abs_predicted_err: err_max,
+            compared,
+        }
+    }
+
+    /// Serialise to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Render the per-task and per-layer tables as aligned plain text.
+    pub fn render_table(&self) -> String {
+        fn cell(v: f64) -> String {
+            if v < 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.6}", v)
+            }
+        }
+        fn pct(v: f64) -> String {
+            format!("{:+.1}%", v * 100.0)
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<5} {:<5} {:<24} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
+            "layer",
+            "task",
+            "name",
+            "predicted_s",
+            "simulated_s",
+            "measured_s",
+            "pred_err",
+            "sim_err"
+        ));
+        for r in &self.tasks {
+            out.push_str(&format!(
+                "{:<5} {:<5} {:<24} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
+                r.layer,
+                r.task,
+                truncate(&r.name, 24),
+                cell(r.predicted),
+                cell(r.simulated),
+                cell(r.measured),
+                pct(r.predicted_err),
+                pct(r.simulated_err),
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<5} {:>5} {:>12} {:>12} {:>12} {:>14} {:>13}\n",
+            "layer",
+            "tasks",
+            "pred_max_s",
+            "sim_max_s",
+            "meas_max_s",
+            "mean|pred_err|",
+            "max|pred_err|"
+        ));
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{:<5} {:>5} {:>12} {:>12} {:>12} {:>14} {:>13}\n",
+                l.layer,
+                l.tasks,
+                cell(l.predicted_max),
+                cell(l.simulated_max),
+                cell(l.measured_max),
+                pct(l.mean_abs_predicted_err),
+                pct(l.max_abs_predicted_err),
+            ));
+        }
+        out.push_str(&format!(
+            "\noverall: {} tasks compared, mean |pred err| {}, max |pred err| {}\n",
+            self.compared,
+            pct(self.mean_abs_predicted_err),
+            pct(self.max_abs_predicted_err),
+        ));
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+// Hand-written so absent values (our -1 sentinel) stay explicit in JSON and
+// the derive's lack of per-field attributes doesn't matter.
+impl Serialize for TaskSample {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("task".into(), Value::UInt(self.task.index() as u64)),
+            ("name".into(), Value::Str(self.name.clone())),
+            ("layer".into(), Value::UInt(self.layer as u64)),
+            (
+                "predicted".into(),
+                Value::Float(self.predicted.unwrap_or(ABSENT)),
+            ),
+            (
+                "simulated".into(),
+                Value::Float(self.simulated.unwrap_or(ABSENT)),
+            ),
+            (
+                "measured".into(),
+                Value::Float(self.measured.unwrap_or(ABSENT)),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        task: usize,
+        layer: usize,
+        predicted: Option<f64>,
+        simulated: Option<f64>,
+        measured: Option<f64>,
+    ) -> TaskSample {
+        TaskSample {
+            task: TaskId(task),
+            name: format!("t{task}"),
+            layer,
+            predicted,
+            simulated,
+            measured,
+        }
+    }
+
+    #[test]
+    fn joins_and_computes_relative_errors() {
+        let rec = Reconciliation::build(vec![
+            sample(0, 0, Some(1.0), Some(1.1), Some(1.0)),
+            sample(1, 0, Some(2.0), Some(1.9), Some(2.5)),
+            sample(2, 1, Some(3.0), Some(3.0), None),
+        ]);
+        assert_eq!(rec.tasks.len(), 3);
+        assert_eq!(rec.layers.len(), 2);
+        assert_eq!(rec.compared, 3);
+        let t0 = &rec.tasks[0];
+        assert!((t0.predicted_err - 0.0).abs() < 1e-12);
+        assert!((t0.simulated_err - 0.1).abs() < 1e-12);
+        let t1 = &rec.tasks[1];
+        assert!((t1.predicted_err - (-0.2)).abs() < 1e-12);
+        // Task 2 falls back to simulated as reference: predicted == simulated.
+        let t2 = &rec.tasks[2];
+        assert!((t2.predicted_err - 0.0).abs() < 1e-12);
+        assert_eq!(t2.measured, -1.0);
+        // Layer aggregates.
+        let l0 = &rec.layers[0];
+        assert_eq!(l0.tasks, 2);
+        assert!((l0.predicted_max - 2.0).abs() < 1e-12);
+        assert!((l0.max_abs_predicted_err - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_incomparable_rows_are_safe() {
+        let rec = Reconciliation::build(vec![]);
+        assert_eq!(rec.compared, 0);
+        assert_eq!(rec.mean_abs_predicted_err, 0.0);
+        let rec = Reconciliation::build(vec![sample(0, 0, None, None, Some(1.0))]);
+        assert_eq!(rec.compared, 0);
+        assert_eq!(rec.tasks[0].predicted, -1.0);
+    }
+
+    #[test]
+    fn renders_and_serialises() {
+        let rec = Reconciliation::build(vec![
+            sample(0, 0, Some(1.0), Some(1.0), Some(1.25)),
+            sample(1, 1, Some(0.5), None, Some(0.4)),
+        ]);
+        let table = rec.render_table();
+        assert!(table.contains("predicted_s"));
+        assert!(table.contains("t0"));
+        assert!(table.contains("overall: 2 tasks compared"));
+        let json = rec.to_json();
+        assert!(json.contains("\"mean_abs_predicted_err\""));
+        assert!(json.contains("\"layers\""));
+    }
+}

@@ -21,10 +21,12 @@ pub mod flat;
 pub mod layered;
 pub mod render;
 pub mod report;
+pub mod trace;
 pub mod two_level;
 
 pub use render::{render_gantt, render_layers};
 pub use report::{GroupTiming, LayerTiming, SimReport, TaskTiming};
+pub use trace::{chrome_events, chrome_trace, reconcile_samples, SIM_PID_BASE};
 
 use pt_core::hybrid::HybridConfig;
 use pt_cost::CostModel;

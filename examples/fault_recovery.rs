@@ -40,6 +40,7 @@ fn main() {
     let opts = RunOptions {
         retry: RetryPolicy::attempts(2).with_backoff(Duration::from_millis(1)),
         faults: FaultPlan::new().panic_at(0, 2, 1),
+        ..RunOptions::default()
     };
     let t = team.run_with(&program, &store, &opts).unwrap();
     println!(
@@ -53,6 +54,7 @@ fn main() {
     let opts = RunOptions {
         retry: RetryPolicy::attempts(2),
         faults: FaultPlan::new().lose_at(0, 3, 1),
+        ..RunOptions::default()
     };
     team.run_with(&program, &store, &opts).unwrap();
     println!(

@@ -23,5 +23,6 @@ pub use pt_exec as exec;
 pub use pt_machine as machine;
 pub use pt_mtask as mtask;
 pub use pt_nas as nas;
+pub use pt_obs as obs;
 pub use pt_ode as ode;
 pub use pt_sim as sim;

@@ -144,6 +144,7 @@ fn retry_rolls_back_store_and_matches_fault_free_run() {
         let opts = RunOptions {
             retry: RetryPolicy::attempts(3),
             faults: FaultPlan::new().panic_at(1, 0, 1).panic_at(1, 0, 2),
+            ..RunOptions::default()
         };
         team.run_with(&build_program(), &store, &opts).unwrap();
         store.snapshot()
@@ -178,6 +179,7 @@ fn retries_exhausted_reports_the_final_error() {
             retry: RetryPolicy::attempts(2),
             // Fails on every attempt.
             faults: FaultPlan::new().panic_at(0, 0, 1).panic_at(0, 0, 2),
+            ..RunOptions::default()
         };
         let err = team.run_with(&program, &store, &opts).unwrap_err();
         assert!(matches!(err, ExecError::TaskPanicked { layer: 0, .. }));
@@ -196,6 +198,7 @@ fn worker_loss_shrinks_team_and_continues() {
         let opts = RunOptions {
             retry: RetryPolicy::attempts(2),
             faults: FaultPlan::new().lose_at(0, 3, 1),
+            ..RunOptions::default()
         };
         team.run_with(&program, &store, &opts).unwrap();
         // The retry re-planned the layer onto the 3 survivors.
@@ -310,6 +313,7 @@ fn replanning_after_worker_loss_reuses_the_live_cost_table() {
         let opts = RunOptions {
             retry: RetryPolicy::attempts(2),
             faults: FaultPlan::new().lose_at(0, 7, 1),
+            ..RunOptions::default()
         };
         team.run_with(&program, &store, &opts).unwrap();
         team
@@ -363,8 +367,93 @@ fn multi_layer_retry_only_replays_the_failed_layer() {
         let opts = RunOptions {
             retry: RetryPolicy::attempts(2),
             faults: FaultPlan::new().panic_at(1, 0, 1),
+            ..RunOptions::default()
         };
         team.run_with(&program, &store, &opts).unwrap();
         assert_eq!(store.get("layer0_runs").unwrap(), vec![1.0]);
     });
+}
+
+#[test]
+fn fault_injection_trace_matches_retry_accounting() {
+    // A recorded faulty run must tell the same story twice: the metrics
+    // counters, the instant events in the trace, and the run's observable
+    // retry behaviour all have to agree on how many faults fired and how
+    // many retries happened.
+    use pt_obs::{keys, Phase, TraceRecorder};
+
+    let (events, snapshot) = bounded(|| {
+        let recorder = Arc::new(TraceRecorder::for_team(2));
+        let team = Team::new(2);
+        let store = DataStore::new();
+        let init: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+            if ctx.rank == 0 {
+                ctx.store.put("base", vec![1.0]);
+            }
+        });
+        let sync: Arc<TaskFn> = Arc::new(|ctx: &TaskCtx| {
+            ctx.comm.barrier();
+        });
+        let mut program = Program::single_layer(vec![GroupPlan::new(0..2, vec![init])]);
+        program.push_layer(vec![GroupPlan::new(0..2, vec![sync])]);
+        // Rank 0 panics on the first two attempts of layer 1; the third
+        // succeeds under a 3-attempt policy.
+        let opts = RunOptions {
+            retry: RetryPolicy::attempts(3),
+            faults: FaultPlan::new().panic_at(1, 0, 1).panic_at(1, 0, 2),
+            ..RunOptions::default()
+        }
+        .with_recorder(recorder.clone());
+        team.run_with(&program, &store, &opts).unwrap();
+        drop((team, opts));
+        let mut recorder = Arc::try_unwrap(recorder).expect("recorder handles released");
+        let events = recorder.drain();
+        let snapshot = recorder.metrics().snapshot();
+        (events, snapshot)
+    });
+
+    let instants = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.phase == Phase::Instant && e.name == name)
+            .count() as u64
+    };
+
+    // Two injected panics, each triggering one rollback + retry.
+    assert_eq!(snapshot.counter(keys::FAULTS_INJECTED), Some(2));
+    assert_eq!(snapshot.counter(keys::RETRIES), Some(2));
+    assert_eq!(snapshot.counter(keys::ROLLBACKS), Some(2));
+    assert_eq!(instants("fault:panic"), 2);
+    assert_eq!(instants("retry"), 2);
+    assert_eq!(
+        instants("panic"),
+        2,
+        "each injected fault surfaces as a task panic"
+    );
+
+    // Counters and trace agree with each other, not just with the plan.
+    assert_eq!(
+        snapshot.counter(keys::FAULTS_INJECTED),
+        Some(instants("fault:panic") + instants("fault:delay") + instants("fault:lose"))
+    );
+    assert_eq!(snapshot.counter(keys::RETRIES), Some(instants("retry")));
+    assert_eq!(
+        snapshot.counter(keys::COLLECTIVE_ABORTS),
+        Some(instants("collective_abort")),
+        "abort counter must match abort instants"
+    );
+
+    // Task accounting: layer 0 runs once on 2 ranks; layer 1's two failed
+    // attempts never complete a task body (rank 0 panics pre-task, rank 1
+    // is aborted inside its barrier), the successful third attempt
+    // completes on both ranks.
+    assert_eq!(snapshot.counter(keys::TASKS_RUN), Some(4));
+
+    // Per-attempt spans: the driver records one span per retry loop
+    // iteration that reaches the report phase.
+    let attempts = events
+        .iter()
+        .filter(|e| e.name == "attempt" && e.cat == "exec")
+        .count();
+    assert_eq!(attempts, 3, "three attempts: two faulty, one clean");
 }

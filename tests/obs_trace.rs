@@ -1,0 +1,216 @@
+//! Integration tests for the observability subsystem: the Chrome-trace
+//! export schema (golden file), pid/tid conventions across the executor,
+//! scheduler and simulator rows, and the nesting discipline of recorded
+//! spans.
+//!
+//! The golden file pins the *simulated* trace of a tiny three-task program
+//! — simulation is deterministic, so the export must match byte for byte.
+//! Regenerate after an intentional schema change with
+//! `UPDATE_GOLDEN=1 cargo test --test obs_trace`.
+
+use proptest::prelude::*;
+use pt_core::{LayerScheduler, MappingStrategy};
+use pt_cost::CostModel;
+use pt_exec::{DataStore, GroupPlan, Program, RunOptions, TaskCtx, TaskFn, Team, EXEC_PID};
+use pt_machine::platforms;
+use pt_mtask::{MTask, Spec, TaskGraph};
+use pt_obs::{ChromeTrace, TraceEvent, TraceProbe, TraceRecorder};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The tiny three-task program of the golden file: two parallel stages
+/// feeding a combine.
+fn tiny_graph() -> TaskGraph {
+    Spec::seq(vec![
+        Spec::parfor(0..2, |i| Spec::task(MTask::compute(format!("a{i}"), 1e9))),
+        Spec::task(MTask::compute("b", 5e8)),
+    ])
+    .compile_flat()
+}
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tiny_trace.json");
+
+#[test]
+fn simulated_trace_matches_golden_file() {
+    let spec = platforms::chic().with_nodes(2);
+    let model = CostModel::new(&spec);
+    let graph = tiny_graph();
+    let sched = LayerScheduler::new(&model).schedule(&graph);
+    let mapping = MappingStrategy::Consecutive.mapping(&spec, spec.total_cores());
+    let report = pt_sim::Simulator::new(&model).simulate_layered(&graph, &sched, &mapping);
+    let json = pt_sim::chrome_trace(&graph, &sched, &report, &mapping, &spec).to_json();
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden file exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        json, golden,
+        "simulated Chrome-trace export drifted from tests/golden/tiny_trace.json; \
+         if the schema change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // The golden trace itself honours the schema: parses, spans carry
+    // `dur`, rows use the simulator's pid convention (1000 + node).
+    let probe = TraceProbe::parse(&golden).unwrap();
+    assert!(probe.event_count() > 0);
+    for ev in &probe.traceEvents {
+        assert!(ev.ts >= 0.0, "negative timestamp in {}", ev.name);
+        if ev.ph != "M" {
+            assert_eq!(ev.ph, "X", "simulated events are complete spans");
+            assert!(ev.pid >= pt_sim::SIM_PID_BASE as u64);
+            assert!(ev.tid < spec.total_cores() as u64);
+        }
+    }
+}
+
+/// A body that spins briefly so spans have measurable extent.
+fn spin_task(us: u64) -> Arc<TaskFn> {
+    Arc::new(move |_ctx: &TaskCtx| {
+        let end = std::time::Instant::now() + Duration::from_micros(us);
+        while std::time::Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    })
+}
+
+#[test]
+fn executed_trace_uses_exec_pid_and_worker_tids() {
+    let workers = 2;
+    let recorder = Arc::new(TraceRecorder::for_team(workers));
+    let team = Team::new(workers);
+    let store = DataStore::new();
+    // Three tasks: two one-core groups in layer 0, one two-core group in
+    // layer 1.
+    let mut program = Program::single_layer(vec![
+        GroupPlan::new(0..1, vec![spin_task(200)]),
+        GroupPlan::new(1..2, vec![spin_task(200)]),
+    ]);
+    program.push_layer(vec![GroupPlan::new(0..2, vec![spin_task(200)])]);
+    let opts = RunOptions::default().with_recorder(recorder.clone());
+    team.run_with(&program, &store, &opts).unwrap();
+    drop((team, opts));
+
+    let mut recorder = Arc::try_unwrap(recorder).expect("recorder handles released");
+    let events = recorder.drain();
+    let tasks: Vec<&TraceEvent> = events.iter().filter(|e| e.cat == "task").collect();
+    // 2 single-rank groups + 1 two-rank group = 4 task spans.
+    assert_eq!(tasks.len(), 4);
+    for ev in &events {
+        assert_eq!(ev.pid, EXEC_PID);
+        assert!(
+            ev.tid <= workers as u32,
+            "tid {} beyond worker/driver rows",
+            ev.tid
+        );
+    }
+    // The export parses and keeps every event.
+    let mut trace = ChromeTrace::new();
+    trace.extend(events.clone());
+    let probe = TraceProbe::parse(&trace.to_json()).unwrap();
+    assert_eq!(probe.event_count(), events.len());
+}
+
+/// Check the span-nesting discipline on one (pid, tid) lane: every span has
+/// `start <= finish`, and spans recorded by one sequential thread never
+/// overlap.
+fn assert_lane_discipline(events: &[TraceEvent]) {
+    let mut lanes: std::collections::BTreeMap<(u32, u32), Vec<&TraceEvent>> = Default::default();
+    for ev in events.iter().filter(|e| e.dur_us > 0.0 || e.cat == "task") {
+        lanes.entry((ev.pid, ev.tid)).or_default().push(ev);
+    }
+    for ((pid, tid), mut lane) in lanes {
+        lane.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        let mut prev_end = f64::NEG_INFINITY;
+        for ev in lane {
+            assert!(
+                ev.dur_us >= 0.0,
+                "span {} on ({pid},{tid}) runs backwards",
+                ev.name
+            );
+            assert!(
+                ev.ts_us >= prev_end - 1e-3,
+                "span {} on ({pid},{tid}) starts at {} before previous span ends at {prev_end}",
+                ev.name,
+                ev.ts_us
+            );
+            prev_end = prev_end.max(ev.end_us());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random layer/group shapes executed with recording on: spans on any
+    /// one worker lane nest properly — start ≤ finish, no overlap (each
+    /// worker is a sequential thread, so its spans must serialise).
+    #[test]
+    fn recorded_spans_nest_per_worker_lane(
+        shape_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(shape_seed);
+        let workers = rng.gen_range(2..5usize);
+        let layers = rng.gen_range(1..4usize);
+
+        let mut program: Option<Program> = None;
+        for _ in 0..layers {
+            // Split `workers` cores into 1..=workers contiguous groups,
+            // each with 1..=2 tasks.
+            let mut groups = Vec::new();
+            let mut start = 0;
+            while start < workers {
+                let width = rng.gen_range(1..=workers - start);
+                let tasks = (0..rng.gen_range(1..3usize))
+                    .map(|_| spin_task(rng.gen_range(20..200)))
+                    .collect();
+                groups.push(GroupPlan::new(start..start + width, tasks));
+                start += width;
+            }
+            match program.as_mut() {
+                None => program = Some(Program::single_layer(groups)),
+                Some(p) => {
+                    p.push_layer(groups);
+                }
+            }
+        }
+        let program = program.unwrap();
+
+        let recorder = Arc::new(TraceRecorder::for_team(workers));
+        let team = Team::new(workers);
+        let store = DataStore::new();
+        let opts = RunOptions::default().with_recorder(recorder.clone());
+        team.run_with(&program, &store, &opts).unwrap();
+        drop((team, opts));
+
+        let mut recorder = Arc::try_unwrap(recorder).expect("recorder handles released");
+        let events = recorder.drain();
+        prop_assert!(!events.is_empty());
+        assert_lane_discipline(&events);
+    }
+
+    /// Simulated traces obey the same discipline: each core row of the
+    /// node×core grid holds non-overlapping spans within the makespan.
+    #[test]
+    fn simulated_spans_nest_per_core_row(nodes in 1..4usize, k in 1..5usize) {
+        let spec = platforms::chic().with_nodes(nodes);
+        let model = CostModel::new(&spec);
+        let graph = Spec::seq(vec![
+            Spec::parfor(0..k, |i| Spec::task(MTask::compute(format!("s{i}"), 1e9))),
+            Spec::task(MTask::compute("combine", 5e8)),
+        ])
+        .compile_flat();
+        let sched = LayerScheduler::new(&model).schedule(&graph);
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, spec.total_cores());
+        let report = pt_sim::Simulator::new(&model).simulate_layered(&graph, &sched, &mapping);
+        let events = pt_sim::chrome_events(&graph, &sched, &report, &mapping, &spec);
+        prop_assert!(!events.is_empty());
+        assert_lane_discipline(&events);
+        for ev in &events {
+            prop_assert!(ev.end_us() <= report.makespan * 1e6 + 1e-6);
+        }
+    }
+}
