@@ -167,6 +167,11 @@ fn main() {
         gate.speedup
     );
 
+    // Gate: a default-options executor run spawns no deadline monitor —
+    // the fail-slow tolerance machinery must stay zero-cost when disabled.
+    let per_layer_us = pt_bench::zero_cost::assert_monitor_free(64);
+    println!("zero-cost probe: no monitor spawned, {per_layer_us:.1} us/layer");
+
     let report = Report {
         benchmark: "schedule evaluation (Simulator::simulate_{flat,layered} wall clock)",
         machine: "juropa",

@@ -95,6 +95,42 @@ pub mod pipeline {
     }
 }
 
+pub mod zero_cost {
+    //! Shared probe asserting the fail-slow machinery (heartbeat board,
+    //! deadline monitor, hedging) is pay-for-what-you-use: a run with
+    //! default [`RunOptions`] (no deadline policy) must spawn zero monitor
+    //! threads.  Called from inside the `bench_sched` and `bench_sim`
+    //! gates so a future change that silently turns the watchdog on by
+    //! default fails the benchmark gates, not just a unit test.
+
+    use pt_exec::{DataStore, GroupPlan, Program, RunOptions, TaskCtx, TaskFn, Team};
+    use std::sync::Arc;
+
+    /// Run a trivial many-layer program with default options and assert
+    /// that no deadline monitor was spawned.  Returns the wall-clock
+    /// microseconds per layer, for the gate binaries to print.
+    pub fn assert_monitor_free(layers: usize) -> f64 {
+        let team = Team::new(4);
+        let store = DataStore::new();
+        let task: Arc<TaskFn> = Arc::new(|_ctx: &TaskCtx| {});
+        let mut program = Program::single_layer(vec![GroupPlan::new(0..4, vec![task.clone()])]);
+        for _ in 1..layers {
+            program.push_layer(vec![GroupPlan::new(0..4, vec![task.clone()])]);
+        }
+        let t0 = std::time::Instant::now();
+        team.run_with(&program, &store, &RunOptions::default())
+            .expect("trivial monitor-free run");
+        let per_layer_us = t0.elapsed().as_secs_f64() * 1e6 / layers as f64;
+        assert_eq!(
+            team.monitors_spawned(),
+            0,
+            "default RunOptions must not spawn a deadline monitor: the \
+             fail-slow path is opt-in and zero-cost when disabled"
+        );
+        per_layer_us
+    }
+}
+
 pub mod table {
     //! Minimal aligned-column table printing for the harness binaries.
 

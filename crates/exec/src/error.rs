@@ -42,6 +42,16 @@ pub enum ExecError {
         /// Physical worker index that was lost.
         worker: usize,
     },
+    /// The global watchdog fired: an attempt exceeded its hard wall-clock
+    /// bound (see
+    /// [`DeadlinePolicy::global_timeout`](crate::DeadlinePolicy::global_timeout)),
+    /// and every rank still running was demoted to break the wedge.
+    WatchdogTimeout {
+        /// Layer the attempt was in when the watchdog fired.
+        layer: usize,
+        /// Physical indices of the workers that were still running.
+        stalled: Vec<usize>,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -61,6 +71,12 @@ impl fmt::Display for ExecError {
             ExecError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
             ExecError::WorkerLost { layer, worker } => {
                 write!(f, "worker {worker} lost in layer {layer}")
+            }
+            ExecError::WatchdogTimeout { layer, stalled } => {
+                write!(
+                    f,
+                    "global watchdog fired in layer {layer}: workers {stalled:?} stopped making progress"
+                )
             }
         }
     }

@@ -1,0 +1,290 @@
+//! Worker progress heartbeats for fail-slow detection.
+//!
+//! A [`HeartbeatBoard`] is the executor's liveness channel: one atomic lane
+//! per logical rank of a run attempt (same pattern as the trace recorder's
+//! per-worker lanes — a lane is written by exactly one worker and read by
+//! the monitor, so everything is a relaxed atomic store, never a lock).
+//! Workers publish a stamp when they enter a layer, after every task body,
+//! and inside the chunked sleeps of injected slowdowns; the monitor thread
+//! compares stamp ages against the deadline policy to classify ranks as
+//! healthy, straggler (recent stamps, layer over deadline) or dead (no
+//! stamps for [`dead_after`](crate::DeadlinePolicy::dead_after)).
+//!
+//! The lane state machine also carries the demotion handshake: the monitor
+//! demotes a rank with a compare-and-swap on its packed `(layer, state)`
+//! word, and the worker enters the layer-exit barrier with the symmetric
+//! CAS — whichever side wins, a demoted rank can never arrive at a barrier
+//! the monitor already [left](crate::EpochBarrier::leave) on its behalf.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+const STATE_RUNNING: usize = 0;
+const STATE_WAITING: usize = 1;
+const STATE_DEMOTED: usize = 2;
+const STATES: usize = 4;
+/// Packed sentinel: the worker completed the whole attempt.
+const FINISHED: usize = usize::MAX;
+
+fn pack(layer: usize, state: usize) -> usize {
+    layer * STATES + state
+}
+
+/// What a rank is doing, as read from its lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneState {
+    /// Executing (or stalled inside) the given layer.
+    Running(usize),
+    /// Arrived at the given layer's exit barrier.
+    Waiting(usize),
+    /// Demoted to lost by the monitor while in the given layer.
+    Demoted(usize),
+    /// Completed the attempt (or returned from it).
+    Finished,
+}
+
+struct Lane {
+    /// `layer * 4 + state`, or [`FINISHED`].
+    packed: AtomicUsize,
+    /// Microseconds since the board's epoch of the last heartbeat.
+    stamp_us: AtomicU64,
+    /// Total heartbeats published (observability / tests).
+    beats: AtomicU64,
+}
+
+/// Per-rank heartbeat lanes plus per-layer entry times for one run attempt.
+pub struct HeartbeatBoard {
+    epoch: Instant,
+    lanes: Box<[Lane]>,
+    /// First `begin_layer` stamp per layer, as `µs + 1` (0 = not entered).
+    layer_entry: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for HeartbeatBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeartbeatBoard")
+            .field("ranks", &self.lanes.len())
+            .field("layers", &self.layer_entry.len())
+            .finish()
+    }
+}
+
+impl HeartbeatBoard {
+    /// A board for `ranks` workers running a `layers`-layer program.
+    pub fn new(ranks: usize, layers: usize) -> HeartbeatBoard {
+        // Lanes start *waiting* (at layer 0's entry barrier): a rank is only
+        // demotable once it actually begins a layer, so a worker that is
+        // merely queued behind the entry barrier can never be demoted and
+        // have the barrier left on its behalf while it still intends to
+        // arrive.
+        let lanes = (0..ranks)
+            .map(|_| Lane {
+                packed: AtomicUsize::new(pack(0, STATE_WAITING)),
+                stamp_us: AtomicU64::new(0),
+                beats: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let layer_entry = (0..layers)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        HeartbeatBoard {
+            epoch: Instant::now(),
+            lanes,
+            layer_entry,
+        }
+    }
+
+    /// Number of lanes (logical ranks).
+    pub fn ranks(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Microseconds since the board's creation.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Publish a heartbeat for `rank`.
+    pub fn stamp(&self, rank: usize) {
+        let lane = &self.lanes[rank];
+        lane.stamp_us.store(self.now_us(), Ordering::Relaxed);
+        lane.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total heartbeats `rank` has published.
+    pub fn beats(&self, rank: usize) -> u64 {
+        self.lanes[rank].beats.load(Ordering::Relaxed)
+    }
+
+    /// `rank` starts executing `layer` (called after the entry barrier, so
+    /// the first stamp also timestamps the layer's start).
+    pub fn begin_layer(&self, rank: usize, layer: usize) {
+        self.lanes[rank]
+            .packed
+            .store(pack(layer, STATE_RUNNING), Ordering::Release);
+        self.stamp(rank);
+        if let Some(entry) = self.layer_entry.get(layer) {
+            let _ =
+                entry.compare_exchange(0, self.now_us() + 1, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// `rank` is about to wait at `layer`'s exit barrier.  Returns `false`
+    /// when the monitor demoted the rank first — the caller must *not*
+    /// join the barrier (the monitor already left it on the rank's behalf)
+    /// and must exit the run as lost.
+    #[must_use]
+    pub fn try_enter_barrier(&self, rank: usize, layer: usize) -> bool {
+        self.lanes[rank]
+            .packed
+            .compare_exchange(
+                pack(layer, STATE_RUNNING),
+                pack(layer, STATE_WAITING),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// `rank` completed the attempt (or is returning from it).
+    pub fn finish(&self, rank: usize) {
+        self.lanes[rank].packed.store(FINISHED, Ordering::Release);
+    }
+
+    /// Worker side of a voluntary permanent exit (the injected
+    /// [`Lose`](crate::FaultKind::Lose) fault): atomically finish while
+    /// still running `layer`.  Returns `false` when the monitor demoted the
+    /// rank first — the monitor then already poisoned and left the barrier
+    /// on the rank's behalf, so the worker must do neither.
+    #[must_use]
+    pub fn try_finish(&self, rank: usize, layer: usize) -> bool {
+        self.lanes[rank]
+            .packed
+            .compare_exchange(
+                pack(layer, STATE_RUNNING),
+                FINISHED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Whether the monitor demoted `rank`.
+    pub fn is_demoted(&self, rank: usize) -> bool {
+        matches!(self.state(rank), LaneState::Demoted(_))
+    }
+
+    /// Monitor side: demote `rank`, expected to be running `layer`.
+    /// Returns `false` when the rank moved on first (reached the barrier,
+    /// advanced a layer, or finished) — the demotion must then be skipped.
+    #[must_use]
+    pub fn demote(&self, rank: usize, layer: usize) -> bool {
+        self.lanes[rank]
+            .packed
+            .compare_exchange(
+                pack(layer, STATE_RUNNING),
+                pack(layer, STATE_DEMOTED),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Current state of `rank`'s lane.
+    pub fn state(&self, rank: usize) -> LaneState {
+        let packed = self.lanes[rank].packed.load(Ordering::Acquire);
+        if packed == FINISHED {
+            return LaneState::Finished;
+        }
+        let layer = packed / STATES;
+        match packed % STATES {
+            STATE_RUNNING => LaneState::Running(layer),
+            STATE_WAITING => LaneState::Waiting(layer),
+            _ => LaneState::Demoted(layer),
+        }
+    }
+
+    /// Age of `rank`'s last heartbeat in microseconds, given `now_us`.
+    pub fn stamp_age_us(&self, rank: usize, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.lanes[rank].stamp_us.load(Ordering::Relaxed))
+    }
+
+    /// When `layer` was first entered (µs since the epoch), if it has been.
+    pub fn layer_entry_us(&self, layer: usize) -> Option<u64> {
+        match self.layer_entry.get(layer)?.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_lifecycle_and_stamps() {
+        let b = HeartbeatBoard::new(2, 3);
+        // Fresh lanes are waiting (not demotable), not running.
+        assert_eq!(b.state(0), LaneState::Waiting(0));
+        assert_eq!(b.layer_entry_us(1), None);
+        b.begin_layer(0, 1);
+        assert_eq!(b.state(0), LaneState::Running(1));
+        assert!(b.layer_entry_us(1).is_some());
+        assert_eq!(b.beats(0), 1);
+        b.stamp(0);
+        assert_eq!(b.beats(0), 2);
+        assert!(b.try_enter_barrier(0, 1));
+        assert_eq!(b.state(0), LaneState::Waiting(1));
+        b.finish(0);
+        assert_eq!(b.state(0), LaneState::Finished);
+        // Rank 1 never moved.
+        assert_eq!(b.state(1), LaneState::Waiting(0));
+    }
+
+    #[test]
+    fn try_finish_races_demotion() {
+        let b = HeartbeatBoard::new(1, 2);
+        b.begin_layer(0, 1);
+        assert!(b.try_finish(0, 1));
+        assert_eq!(b.state(0), LaneState::Finished);
+        // Monitor demoted first: the voluntary exit must back off.
+        let b = HeartbeatBoard::new(1, 2);
+        b.begin_layer(0, 1);
+        assert!(b.demote(0, 1));
+        assert!(!b.try_finish(0, 1));
+    }
+
+    #[test]
+    fn demotion_handshake_is_exclusive() {
+        let b = HeartbeatBoard::new(1, 2);
+        b.begin_layer(0, 0);
+        // Monitor wins: the worker's barrier entry must fail.
+        assert!(b.demote(0, 0));
+        assert!(b.is_demoted(0));
+        assert!(!b.try_enter_barrier(0, 0));
+        // Worker wins: demotion must fail.
+        let b = HeartbeatBoard::new(1, 2);
+        b.begin_layer(0, 0);
+        assert!(b.try_enter_barrier(0, 0));
+        assert!(!b.demote(0, 0));
+        // Wrong layer never demotes.
+        let b = HeartbeatBoard::new(1, 2);
+        b.begin_layer(0, 1);
+        assert!(!b.demote(0, 0));
+    }
+
+    #[test]
+    fn stamp_ages_are_monotone() {
+        let b = HeartbeatBoard::new(1, 1);
+        b.stamp(0);
+        let a0 = b.stamp_age_us(0, b.now_us());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let a1 = b.stamp_age_us(0, b.now_us());
+        assert!(a1 > a0);
+        b.stamp(0);
+        assert!(b.stamp_age_us(0, b.now_us()) <= a1);
+    }
+}

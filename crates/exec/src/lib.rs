@@ -40,17 +40,21 @@
 
 pub mod barrier;
 pub mod comm;
+pub mod deadline;
 pub mod dynamic;
 pub mod error;
 pub mod fault;
+pub mod heartbeat;
 pub mod program;
 pub mod store;
 pub mod team;
 
 pub use barrier::EpochBarrier;
 pub use comm::GroupComm;
+pub use deadline::{DeadlinePolicy, MissAction};
 pub use error::{CollectiveAborted, ExecError};
-pub use fault::{FaultAction, FaultKind, FaultPlan};
+pub use fault::{ChaosConfig, FaultAction, FaultKind, FaultPlan};
+pub use heartbeat::{HeartbeatBoard, LaneState};
 pub use program::{block_range, GroupPlan, Program, TaskCtx, TaskFn};
 pub use store::{DataStore, Snapshot};
 pub use team::{RetryPolicy, RunOptions, Team, EXEC_PID};

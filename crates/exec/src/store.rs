@@ -45,6 +45,14 @@ impl Snapshot {
     pub fn entries(&self) -> &[(String, Vec<f64>)] {
         &self.entries
     }
+
+    /// Look up one captured array by name (entries are sorted by name).
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
 }
 
 /// A task may panic while holding a cell lock; the data is plain `Vec<f64>`
@@ -151,6 +159,17 @@ impl DataStore {
         drop(map);
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Snapshot { entries }
+    }
+
+    /// A fresh store populated from a snapshot — used as the private
+    /// overlay of a hedge execution, which must see the layer-entry state
+    /// untouched by its (possibly mid-write) primary.
+    pub fn from_snapshot(snap: &Snapshot) -> Arc<DataStore> {
+        let store = DataStore::new();
+        for (name, data) in &snap.entries {
+            store.put(name.clone(), data.clone());
+        }
+        store
     }
 
     /// Roll the store back to `snap`: arrays present in the snapshot are
@@ -269,6 +288,22 @@ mod tests {
         s.write_block("a", 0, &[3.0]); // 8 bytes
         s.remove("a");
         assert_eq!(s.bytes_written(), 24); // monotonic: remove doesn't subtract
+    }
+
+    #[test]
+    fn snapshot_get_and_from_snapshot() {
+        let s = DataStore::new();
+        s.put("b", vec![2.0]);
+        s.put("a", vec![1.0]);
+        let snap = s.snapshot();
+        assert_eq!(snap.get("a"), Some([1.0].as_slice()));
+        assert_eq!(snap.get("b"), Some([2.0].as_slice()));
+        assert_eq!(snap.get("c"), None);
+        let overlay = DataStore::from_snapshot(&snap);
+        assert_eq!(overlay.snapshot(), snap);
+        // The overlay is independent of the original.
+        overlay.put("a", vec![9.0]);
+        assert_eq!(s.get("a"), Some(vec![1.0]));
     }
 
     #[test]

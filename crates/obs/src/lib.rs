@@ -62,6 +62,23 @@ pub mod keys {
     pub const BARRIER_WAIT: &str = "exec.barrier_wait_s";
     /// Wall seconds per executed task body (histogram).
     pub const TASK_SECONDS: &str = "exec.task_s";
+    /// Microseconds slept by injected `FaultKind::Delay` faults.
+    pub const FAULT_DELAY_US: &str = "exec.fault_delay_us";
+    /// Layer deadlines missed (the monitor saw a layer exceed its budget).
+    pub const DEADLINE_MISSES: &str = "exec.deadline_misses";
+    /// Speculative hedge executions spawned for straggling groups.
+    pub const HEDGES_SPAWNED: &str = "exec.hedges";
+    /// Hedges that finished before their primary and were committed.
+    pub const HEDGES_WON: &str = "exec.hedges_won";
+    /// Hedges beaten by their primary (or cancelled) and discarded.
+    pub const HEDGES_LOST: &str = "exec.hedges_lost";
+    /// Ranks demoted to lost by the watchdog (stale heartbeat / stall).
+    pub const DEMOTIONS: &str = "exec.demotions";
+    /// Global watchdog firings (run exceeded its hard wall-clock bound).
+    pub const WATCHDOG_FIRES: &str = "exec.watchdog_fires";
+    /// Seconds since the last heartbeat of the laggiest active rank,
+    /// observed at each monitor tick (histogram).
+    pub const HEARTBEAT_AGE: &str = "exec.heartbeat_age_s";
     /// Cost-table misses (`CostTable::evaluations`) during scheduling.
     pub const COST_EVALUATIONS: &str = "sched.cost_evaluations";
     /// Layers scheduled.

@@ -173,6 +173,23 @@ impl Reconciliation {
         }
     }
 
+    /// Deadline slack factor suggested by the observed prediction error.
+    ///
+    /// Fail-slow detection compares a layer's wall clock against its
+    /// predicted time × slack; a model that mispredicts badly needs wider
+    /// slack or healthy layers get flagged as stragglers.  The factor
+    /// covers the worst observed |relative error| twice over, clamped to
+    /// [1.25, 8]: even a perfect model keeps 25% headroom, and a model
+    /// that is off by more than 3.5× should be recalibrated rather than
+    /// trusted with ever-longer deadlines.  With no comparable samples the
+    /// conservative default is 2.
+    pub fn suggested_slack(&self) -> f64 {
+        if self.compared == 0 {
+            return 2.0;
+        }
+        (1.0 + 2.0 * self.max_abs_predicted_err).clamp(1.25, 8.0)
+    }
+
     /// Serialise to pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialises")
@@ -334,6 +351,21 @@ mod tests {
         let rec = Reconciliation::build(vec![sample(0, 0, None, None, Some(1.0))]);
         assert_eq!(rec.compared, 0);
         assert_eq!(rec.tasks[0].predicted, -1.0);
+    }
+
+    #[test]
+    fn suggested_slack_tracks_prediction_error() {
+        // No data: conservative default.
+        assert_eq!(Reconciliation::build(vec![]).suggested_slack(), 2.0);
+        // Perfect predictions: floor of 1.25.
+        let perfect = Reconciliation::build(vec![sample(0, 0, Some(1.0), None, Some(1.0))]);
+        assert!((perfect.suggested_slack() - 1.25).abs() < 1e-12);
+        // 50% worst error → 1 + 2·0.5 = 2×.
+        let off = Reconciliation::build(vec![sample(0, 0, Some(1.5), None, Some(1.0))]);
+        assert!((off.suggested_slack() - 2.0).abs() < 1e-12);
+        // Wildly wrong predictions are clamped at 8×.
+        let wild = Reconciliation::build(vec![sample(0, 0, Some(100.0), None, Some(1.0))]);
+        assert_eq!(wild.suggested_slack(), 8.0);
     }
 
     #[test]

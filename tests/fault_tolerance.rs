@@ -237,20 +237,43 @@ fn worker_loss_without_retry_is_a_typed_error() {
 
 #[test]
 fn injected_delay_slows_but_does_not_fail_the_run() {
-    bounded(|| {
+    use pt_obs::{keys, Phase, TraceRecorder};
+
+    let delay = Duration::from_millis(50);
+    let (events, snapshot) = bounded(move || {
+        let recorder = Arc::new(TraceRecorder::for_team(2));
         let team = Team::new(2);
         let store = DataStore::new();
         let program = Program::single_layer(vec![GroupPlan::new(0..2, vec![allreduce_task("s")])]);
-        let delay = Duration::from_millis(50);
         let opts = RunOptions {
             faults: FaultPlan::new().delay(0, 1, delay),
             ..RunOptions::default()
-        };
+        }
+        .with_recorder(recorder.clone());
         let start = Instant::now();
         team.run_with(&program, &store, &opts).unwrap();
         assert!(start.elapsed() >= delay, "straggler delay was not applied");
         assert_eq!(store.get("s").unwrap(), vec![3.0]);
+        drop((team, opts));
+        let mut recorder = Arc::try_unwrap(recorder).expect("recorder handles released");
+        let events = recorder.drain();
+        let snapshot = recorder.metrics().snapshot();
+        (events, snapshot)
     });
+
+    // The delay surfaces as its own distinct instant (not a generic fault
+    // marker) and its duration is accounted in the delay counter.
+    let delays: Vec<_> = events
+        .iter()
+        .filter(|e| e.phase == Phase::Instant && e.name == "fault:delay")
+        .collect();
+    assert_eq!(delays.len(), 1);
+    assert_eq!(snapshot.counter(keys::FAULTS_INJECTED), Some(1));
+    assert_eq!(
+        snapshot.counter(keys::FAULT_DELAY_US),
+        Some(delay.as_micros() as u64),
+        "delay duration must be accounted in microseconds"
+    );
 }
 
 #[test]
