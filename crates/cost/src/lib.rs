@@ -33,7 +33,7 @@ pub mod table;
 pub use collectives::CostModel;
 pub use context::CommContext;
 pub use symbolic::task_time_optimistic;
-pub use table::CostTable;
+pub use table::{CostTable, TableStore};
 
 #[cfg(test)]
 mod tests {

@@ -107,7 +107,7 @@ impl CostModel<'_> {
         }
         let sets: Vec<Vec<CoreId>> = (0..min_q)
             .map(|j| {
-                groups
+                let set: Vec<CoreId> = groups
                     .iter()
                     .map(|g| {
                         let g = g.as_ref();
@@ -115,11 +115,42 @@ impl CostModel<'_> {
                         // proportionally.
                         g[j * g.len() / min_q]
                     })
-                    .collect()
+                    .collect();
+                // The exchange's rank order follows the orthogonal data
+                // index (e.g. zone number), which is independent of
+                // physical placement — the model must not reward
+                // accidental adjacency between exchange neighbours, and
+                // the caller's group order must not leak into the cost
+                // (simulated makespans are cached content-addressed and
+                // must be bit-identical across runs). Canonicalise to a
+                // node-interleaved order: deterministic and
+                // placement-oblivious.
+                node_interleaved(self.spec, set)
             })
             .collect();
         self.multi_allgather(&sets, total_bytes)
     }
+}
+
+/// Canonical placement-oblivious order for an exchange set: cores sorted,
+/// bucketed by node, then emitted round-robin across the nodes, so ring
+/// neighbours land on different nodes whenever the set spans more than one.
+fn node_interleaved(spec: &pt_machine::ClusterSpec, mut cores: Vec<CoreId>) -> Vec<CoreId> {
+    cores.sort_unstable();
+    let mut buckets: Vec<Vec<CoreId>> = vec![Vec::new(); spec.nodes];
+    for c in cores.drain(..) {
+        buckets[spec.label(c).node].push(c);
+    }
+    let rounds = buckets.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(buckets.iter().map(Vec::len).sum());
+    for r in 0..rounds {
+        for b in &buckets {
+            if let Some(&c) = b.get(r) {
+                out.push(c);
+            }
+        }
+    }
+    out
 }
 
 /// True if every core of `a` is also in `b`.

@@ -36,14 +36,23 @@ enum Kind {
     Optimistic,
 }
 
-/// A lazily filled memo table for `Tsymb(task, q)` and its optimistic
-/// (CPA/CPR) counterpart, keyed by task id × core count.
+/// The lifetime-free storage behind a [`CostTable`]: the memo cells plus
+/// the miss counter, with no reference to any cost model.
 ///
-/// Create one per scheduling run over the graph whose `TaskId`s are used to
-/// index it (for the layer scheduler that is the chain-contracted graph).
+/// A store outlives any single scheduling run — wrap it in an [`Arc`] and
+/// rebind it to a fresh [`CostModel`] with [`CostTable::shared`] to keep a
+/// hot graph's memoized columns warm across requests (the scheduling
+/// service does exactly this).
+///
+/// # Invariant
+/// All models a store is ever bound to must describe *structurally equal*
+/// machines (`ClusterSpec` equality) and index it with the task ids of
+/// structurally equal graphs: the cached values are pure in
+/// `(spec, task, q)`, so rebinding to a different machine would serve stale
+/// costs.  Callers key shared stores by a (graph, machine, P) signature and
+/// verify equality before reuse.
 #[derive(Debug)]
-pub struct CostTable<'a> {
-    model: &'a CostModel<'a>,
+pub struct TableStore {
     /// Number of task ids the table covers (cells per column).
     tasks: usize,
     /// Columns per kind (`max_q + 1`: one per width `0..=max_q`).  Widths
@@ -55,6 +64,56 @@ pub struct CostTable<'a> {
     columns: ColumnSet,
     /// Cost-function evaluations actually performed (cache misses).
     misses: AtomicUsize,
+}
+
+impl TableStore {
+    /// Empty storage for `tasks` task ids and widths `1..=max_q`.
+    pub fn new(tasks: usize, max_q: usize) -> Self {
+        TableStore {
+            tasks,
+            widths: max_q + 1,
+            columns: ColumnSet::new(2 * (max_q + 1), tasks),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of task ids the store covers.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Largest cached width.
+    pub fn max_width(&self) -> usize {
+        self.widths - 1
+    }
+
+    /// Number of underlying cost-function evaluations so far (see
+    /// [`CostTable::evaluations`]).
+    pub fn evaluations(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// How a [`CostTable`] holds its [`TableStore`]: privately owned (the
+/// one-shot scheduling path) or shared with other runs via an `Arc` (the
+/// service's warm-table path).
+#[derive(Debug)]
+enum StoreHandle {
+    Owned(TableStore),
+    Shared(std::sync::Arc<TableStore>),
+}
+
+/// A lazily filled memo table for `Tsymb(task, q)` and its optimistic
+/// (CPA/CPR) counterpart, keyed by task id × core count.
+///
+/// Create one per scheduling run over the graph whose `TaskId`s are used to
+/// index it (for the layer scheduler that is the chain-contracted graph).
+/// To reuse the memo cells across runs, build a [`TableStore`] once and
+/// bind it per run with [`CostTable::shared`].
+#[derive(Debug)]
+pub struct CostTable<'a> {
+    model: &'a CostModel<'a>,
+    store: StoreHandle,
 }
 
 /// Lazily allocated columns of `tasks` cells each, installed lock-free via
@@ -152,10 +211,7 @@ impl<'a> CostTable<'a> {
     pub fn with_width(model: &'a CostModel<'a>, tasks: usize, max_q: usize) -> Self {
         CostTable {
             model,
-            tasks,
-            widths: max_q + 1,
-            columns: ColumnSet::new(2 * (max_q + 1), tasks),
-            misses: AtomicUsize::new(0),
+            store: StoreHandle::Owned(TableStore::new(tasks, max_q)),
         }
     }
 
@@ -164,9 +220,27 @@ impl<'a> CostTable<'a> {
         Self::with_width(model, tasks, model.spec.total_cores())
     }
 
+    /// Bind an existing (possibly pre-warmed) [`TableStore`] to a model for
+    /// one run.  The model's machine must be structurally equal to the one
+    /// every previous binding of `store` used — see the [`TableStore`]
+    /// invariant.
+    pub fn shared(model: &'a CostModel<'a>, store: std::sync::Arc<TableStore>) -> Self {
+        CostTable {
+            model,
+            store: StoreHandle::Shared(store),
+        }
+    }
+
     /// The underlying cost model.
     pub fn model(&self) -> &'a CostModel<'a> {
         self.model
+    }
+
+    fn store(&self) -> &TableStore {
+        match &self.store {
+            StoreHandle::Owned(s) => s,
+            StoreHandle::Shared(s) => s,
+        }
     }
 
     /// Memoized [`CostModel::task_time_symbolic`].  `task` must be the task
@@ -184,13 +258,15 @@ impl<'a> CostTable<'a> {
     /// Number of underlying cost-function evaluations so far.  Under
     /// concurrent access a pair may rarely be evaluated twice (both writes
     /// store the same value); single-threaded use counts exactly the
-    /// distinct pairs priced.
+    /// distinct pairs priced.  For a [`shared`](Self::shared) store the
+    /// count accumulates across every run the store served.
     pub fn evaluations(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.store().evaluations()
     }
 
     fn lookup(&self, kind: Kind, id: TaskId, task: &MTask, q: usize) -> f64 {
         debug_assert!(q >= 1, "task {:?}: zero-core width priced", task.name);
+        let store = self.store();
         // Capped widths all hit the capped entry.
         let q = match task.max_cores {
             Some(cap) if cap < q => cap,
@@ -200,21 +276,21 @@ impl<'a> CostTable<'a> {
             return f64::INFINITY;
         }
         let compute = || {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            store.misses.fetch_add(1, Ordering::Relaxed);
             match kind {
                 Kind::Symbolic => self.model.task_time_symbolic(task, q),
                 Kind::Optimistic => task_time_optimistic(self.model, task, q),
             }
         };
         // Out-of-range pairs stay correct, just uncached.
-        if id.0 >= self.tasks || q >= self.widths {
+        if id.0 >= store.tasks || q >= store.widths {
             return compute();
         }
         let slot = match kind {
             Kind::Symbolic => q,
-            Kind::Optimistic => self.widths + q,
+            Kind::Optimistic => store.widths + q,
         };
-        let Some(col) = self.columns.column(slot) else {
+        let Some(col) = store.columns.column(slot) else {
             return compute();
         };
         let cell = &col[id.0];
@@ -288,6 +364,38 @@ mod tests {
         let b = table.symbolic(TaskId(1), &ts[1], 32);
         assert_eq!(a, b);
         assert_eq!(table.evaluations() - before, 1);
+    }
+
+    #[test]
+    fn shared_store_keeps_cells_warm_across_bindings() {
+        let spec = platforms::chic().with_nodes(8);
+        let ts = tasks();
+        let store = std::sync::Arc::new(TableStore::new(ts.len(), spec.total_cores()));
+        let cold = {
+            let model = CostModel::new(&spec);
+            let table = CostTable::shared(&model, store.clone());
+            for (i, t) in ts.iter().enumerate() {
+                for q in 1..=spec.total_cores() {
+                    table.symbolic(TaskId(i), t, q);
+                }
+            }
+            table.evaluations()
+        };
+        assert!(cold > 0);
+        // A second run over a *fresh model of the same machine* re-binds the
+        // store and hits every cell: no new evaluations.
+        let spec2 = spec.clone();
+        let model2 = CostModel::new(&spec2);
+        let table2 = CostTable::shared(&model2, store.clone());
+        for (i, t) in ts.iter().enumerate() {
+            for q in 1..=spec2.total_cores() {
+                assert_eq!(
+                    table2.symbolic(TaskId(i), t, q),
+                    model2.task_time_symbolic(t, q)
+                );
+            }
+        }
+        assert_eq!(store.evaluations(), cold);
     }
 
     #[test]

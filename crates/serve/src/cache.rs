@@ -1,0 +1,232 @@
+//! The content-addressed schedule cache with single-flight batching.
+//!
+//! A bounded, sharded map from [`Signature`] to computed replies.  Three
+//! outcomes on lookup:
+//!
+//! * **hit** — a verified-equal entry is ready; return it.
+//! * **follow** — another request for the same key is being computed right
+//!   now; wait on its [`Flight`] instead of repeating the g-sweep.
+//! * **lead** — nothing cached or in flight; the caller becomes the leader
+//!   and must eventually [`publish`](ScheduleCache::publish) a result.
+//!
+//! Every hash hit is verified with [`ScheduleRequest::same_inputs`]; a
+//! signature collision therefore creates a sibling entry under the same
+//! hash instead of returning the wrong schedule.  A leader that fails
+//! publishes the error to the followers *currently waiting* and removes
+//! the in-flight entry, so the next request for the key elects a fresh
+//! leader — errors never poison a key permanently.
+//!
+//! Eviction is least-recently-used per shard over *ready* entries only
+//! (in-flight entries are never evicted: followers hold the flight alive
+//! and the leader will publish into it).
+
+use crate::key::{ScheduleRequest, Signature};
+use crate::service::{ScheduleReply, ServeError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A single-flight rendezvous: the leader publishes exactly once, any
+/// number of followers block on [`wait`](Flight::wait).
+#[derive(Debug, Default)]
+pub struct Flight {
+    result: Mutex<Option<Result<Arc<ScheduleReply>, ServeError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    /// Install the leader's result and wake all followers.  Publishing
+    /// twice keeps the first result (cannot happen through the service; the
+    /// guard keeps a racy double-publish harmless).
+    pub fn publish(&self, result: Result<Arc<ScheduleReply>, ServeError>) {
+        let mut slot = self.result.lock().expect("flight lock");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.done.notify_all();
+    }
+
+    /// Block until the leader publishes, then return a clone of its result.
+    pub fn wait(&self) -> Result<Arc<ScheduleReply>, ServeError> {
+        let mut slot = self.result.lock().expect("flight lock");
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.done.wait(slot).expect("flight lock");
+        }
+    }
+}
+
+/// Lookup outcome (see the module docs).
+pub enum Outcome {
+    /// Verified hit: the reply is ready.
+    Hit(Arc<ScheduleReply>),
+    /// Same key already in flight: wait on this flight.
+    Follow(Arc<Flight>),
+    /// Caller is the leader and owns this flight; it must compute and
+    /// publish.
+    Lead(Arc<Flight>),
+}
+
+enum EntryState {
+    Ready {
+        reply: Arc<ScheduleReply>,
+        last_used: u64,
+    },
+    InFlight(Arc<Flight>),
+}
+
+/// One cache entry: the full request preimage (for collision verification)
+/// plus its state.
+struct Entry {
+    request: ScheduleRequest,
+    state: EntryState,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Vec<Entry>>,
+    ready: usize,
+}
+
+/// The sharded schedule cache.
+pub struct ScheduleCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum ready entries per shard.
+    shard_capacity: usize,
+    /// Monotonic LRU clock (shared across shards; per-shard ordering is all
+    /// eviction needs).
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Cache bounded to roughly `capacity` ready schedules across `shards`
+    /// shards.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ScheduleCache {
+            shard_capacity: capacity.div_ceil(shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, sig: Signature) -> &Mutex<Shard> {
+        // High bits: the low bits already pick the bucket inside the map.
+        &self.shards[(sig.0 >> 96) as usize % self.shards.len()]
+    }
+
+    /// Total ready entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").ready)
+            .sum()
+    }
+
+    /// True when no ready entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Look up `req`; on miss the caller becomes the leader for this key.
+    pub fn lookup_or_lead(&self, req: &ScheduleRequest, sig: Signature) -> Outcome {
+        let mut shard = self.shard(sig).lock().expect("cache shard lock");
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let bucket = shard.map.entry(sig.0).or_default();
+        for entry in bucket.iter_mut() {
+            if !entry.request.same_inputs(req) {
+                continue; // hash collision: keep scanning the bucket
+            }
+            match &mut entry.state {
+                EntryState::Ready { reply, last_used } => {
+                    *last_used = now;
+                    return Outcome::Hit(reply.clone());
+                }
+                EntryState::InFlight(flight) => return Outcome::Follow(flight.clone()),
+            }
+        }
+        let flight = Arc::new(Flight::default());
+        bucket.push(Entry {
+            request: req.clone(),
+            state: EntryState::InFlight(flight.clone()),
+        });
+        Outcome::Lead(flight)
+    }
+
+    /// Install the leader's result for the key whose in-flight entry holds
+    /// `flight`, then wake the followers.  Success replaces the in-flight
+    /// entry with a ready one (evicting the LRU ready entry if the shard is
+    /// over capacity); failure removes the entry so the next request for
+    /// the key elects a fresh leader.
+    pub fn publish(
+        &self,
+        sig: Signature,
+        flight: &Arc<Flight>,
+        result: Result<Arc<ScheduleReply>, ServeError>,
+    ) {
+        {
+            let mut guard = self.shard(sig).lock().expect("cache shard lock");
+            let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            let shard = &mut *guard;
+            if let Some(bucket) = shard.map.get_mut(&sig.0) {
+                let pos = bucket.iter().position(|e| match &e.state {
+                    EntryState::InFlight(f) => Arc::ptr_eq(f, flight),
+                    EntryState::Ready { .. } => false,
+                });
+                if let Some(pos) = pos {
+                    match &result {
+                        Ok(reply) => {
+                            bucket[pos].state = EntryState::Ready {
+                                reply: reply.clone(),
+                                last_used: now,
+                            };
+                            shard.ready += 1;
+                            if shard.ready > self.shard_capacity {
+                                evict_lru(shard);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            bucket.remove(pos);
+                            if bucket.is_empty() {
+                                shard.map.remove(&sig.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        flight.publish(result);
+    }
+}
+
+/// Remove the least-recently-used ready entry of a shard.
+fn evict_lru(shard: &mut Shard) {
+    let mut oldest: Option<(u128, usize, u64)> = None;
+    for (&hash, bucket) in &shard.map {
+        for (i, e) in bucket.iter().enumerate() {
+            if let EntryState::Ready { last_used, .. } = e.state {
+                if oldest.is_none_or(|(_, _, t)| last_used < t) {
+                    oldest = Some((hash, i, last_used));
+                }
+            }
+        }
+    }
+    if let Some((hash, i, _)) = oldest {
+        let bucket = shard.map.get_mut(&hash).expect("bucket exists");
+        bucket.remove(i);
+        if bucket.is_empty() {
+            shard.map.remove(&hash);
+        }
+        shard.ready -= 1;
+    }
+}

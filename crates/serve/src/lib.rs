@@ -1,0 +1,48 @@
+//! # pt-serve — scheduler-as-a-service
+//!
+//! The one-shot pipeline (`ptsched` CLI, `pt-core`) prices every run from a
+//! cold [`CostTable`](pt_cost::CostTable).  This crate turns the scheduler
+//! into a long-running, multi-threaded *service* that amortizes that work
+//! across requests:
+//!
+//! * **Content-addressed schedule cache** ([`cache::ScheduleCache`]) —
+//!   requests are keyed by a structural [`Signature`](key::Signature) over
+//!   (task graph, machine, symbolic cores, mapping, g-policy).  Hash hits
+//!   are always verified by full structural equality, so a collision can
+//!   never return the wrong schedule.
+//! * **Single-flight batching** ([`cache::Flight`]) — N concurrent requests
+//!   for the same key run exactly one g-sweep; followers share the leader's
+//!   result.  A failing leader fails its followers but never poisons the
+//!   key.
+//! * **Sharded warm cost tables** ([`service::SchedService`]) — requests
+//!   route to a fixed worker by their *table signature* (graph × machine ×
+//!   P × contraction), so a hot graph's memoized cost columns stay warm on
+//!   one worker across requests and across g-policies.
+//!
+//! ```no_run
+//! use pt_serve::{SchedService, ServeConfig, ScheduleRequest};
+//! use pt_core::MappingStrategy;
+//! use pt_machine::platforms;
+//! use std::sync::Arc;
+//!
+//! let svc = SchedService::new(ServeConfig::default());
+//! let graph = Arc::new(pt_mtask::TaskGraph::new());
+//! let machine = Arc::new(platforms::chic());
+//! # let graph = {
+//! #     let mut g = pt_mtask::TaskGraph::new();
+//! #     g.add_task(pt_mtask::MTask::compute("t", 1e9));
+//! #     Arc::new(g)
+//! # };
+//! let req = ScheduleRequest::new(graph, machine, MappingStrategy::Consecutive);
+//! let (reply, status) = svc.schedule(req).unwrap();
+//! println!("makespan {:.3}s ({status:?})", reply.makespan);
+//! ```
+
+pub mod cache;
+pub mod key;
+pub mod service;
+
+pub use key::{GPolicy, ScheduleRequest, Signature};
+pub use service::{
+    CacheStatus, SchedService, ScheduleReply, ServeConfig, ServeError, StatsSnapshot,
+};

@@ -163,7 +163,13 @@ impl Simulator<'_> {
     ) -> f64 {
         let mut worst = 0.0f64;
         // (producer task) -> contribution for the aggregated orthogonal set.
-        let mut ortho_sources: HashMap<TaskId, (std::rc::Rc<Vec<CoreId>>, f64)> = HashMap::new();
+        // Ordered map: its iteration order feeds the total_bytes float sum,
+        // and the simulated makespan must be bit-identical across runs and
+        // threads (the serve cache verifies cached replies against fresh
+        // computations). The participant order itself is harmless — the
+        // cost model canonicalises each exchange set before pricing it.
+        let mut ortho_sources: std::collections::BTreeMap<TaskId, (std::rc::Rc<Vec<CoreId>>, f64)> =
+            std::collections::BTreeMap::new();
         let mut ortho_groups: Vec<std::rc::Rc<Vec<CoreId>>> = Vec::new();
 
         for (g, tasks) in layer.assignments.iter().enumerate() {

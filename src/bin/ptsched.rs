@@ -6,11 +6,29 @@
 //!         [--platform chic|altix|juropa] [--cores N]
 //!         [--mapping consecutive|scattered|mixed2|mixed4]
 //!         [--groups G] [--steps S] [--gantt]
+//! ptsched serve [--listen ADDR] [--workers N] [--sweep-workers N]
+//!               [--cache-capacity N]
 //! ```
 //!
-//! Prints the computed schedule, the simulated time per step under the
-//! chosen mapping (and all alternatives for comparison) and optionally an
-//! ASCII timeline.
+//! The one-shot form prints the computed schedule, the simulated time per
+//! step under the chosen mapping (and all alternatives for comparison) and
+//! optionally an ASCII timeline.  Malformed or out-of-range arguments exit
+//! with status 2 and a pointer to `--help`; scheduling failures exit 1.
+//!
+//! `ptsched serve` runs the scheduler as a long-lived service answering
+//! line-delimited JSON requests — on stdin/stdout by default, or on a TCP
+//! socket with `--listen HOST:PORT` (one connection per client thread).
+//! Each request line selects a workload the same way the one-shot flags do:
+//!
+//! ```text
+//! {"workload":"epol","platform":"chic","cores":64,"mapping":"consecutive","steps":2}
+//! {"cmd":"stats"}
+//! ```
+//!
+//! Responses are one JSON object per line: `{"ok":true,"cache":"hit",...}`
+//! with the simulated time per step, or `{"ok":false,"error":"..."}`.
+//! Repeated requests are answered from the service's content-addressed
+//! schedule cache (see the `pt-serve` crate).
 
 use parallel_tasks::core::{LayerScheduler, MappingStrategy};
 use parallel_tasks::cost::CostModel;
@@ -18,7 +36,12 @@ use parallel_tasks::machine::{platforms, ClusterSpec};
 use parallel_tasks::mtask::TaskGraph;
 use parallel_tasks::nas::{bt_mz, sp_mz, Class};
 use parallel_tasks::ode::{Bruss2d, Diirk, Epol, Irk, Pab, Pabm};
+use parallel_tasks::serve::{CacheStatus, SchedService, ScheduleRequest, ServeConfig};
 use parallel_tasks::sim::{render_gantt, render_layers, Simulator};
+use serde::{Serialize, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
 
 struct Options {
     workload: String,
@@ -30,7 +53,9 @@ struct Options {
     gantt: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
+const WORKLOADS: &[&str] = &["epol", "irk", "diirk", "pab", "pabm", "sp-mz", "bt-mz"];
+
+fn parse_args(args: &mut dyn Iterator<Item = String>) -> Result<Options, String> {
     let mut o = Options {
         workload: "epol".into(),
         platform: "chic".into(),
@@ -40,7 +65,6 @@ fn parse_args() -> Result<Options, String> {
         steps: 2,
         gantt: false,
     };
-    let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
             args.next().ok_or_else(|| format!("{name} needs a value"))
@@ -72,14 +96,56 @@ fn parse_args() -> Result<Options, String> {
                     "usage: ptsched [--workload epol|irk|diirk|pab|pabm|sp-mz|bt-mz] \
                      [--platform chic|altix|juropa] [--cores N] \
                      [--mapping consecutive|scattered|mixed2|mixed4] \
-                     [--groups G] [--steps S] [--gantt]"
+                     [--groups G] [--steps S] [--gantt]\n\
+                     \x20      ptsched serve [--listen HOST:PORT] [--workers N] \
+                     [--sweep-workers N] [--cache-capacity N]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    validate_options(&o)?;
     Ok(o)
+}
+
+/// Range checks for values that parse but cannot be scheduled — the
+/// scheduling pipeline enforces these with asserts, which must never be
+/// reachable from the command line.
+fn validate_options(o: &Options) -> Result<(), String> {
+    if !WORKLOADS.contains(&o.workload.as_str()) {
+        return Err(format!("unknown workload `{}`", o.workload));
+    }
+    let machine = platform(&o.platform)?;
+    mapping(&o.mapping)?;
+    check_cores(&machine, o.cores)?;
+    if o.groups == Some(0) {
+        return Err("--groups must be at least 1".into());
+    }
+    if o.steps == 0 {
+        return Err("--steps must be at least 1".into());
+    }
+    Ok(())
+}
+
+fn check_cores(machine: &ClusterSpec, cores: usize) -> Result<(), String> {
+    let cpn = machine.cores_per_node();
+    if cores == 0 {
+        return Err("--cores must be at least 1".into());
+    }
+    if !cores.is_multiple_of(cpn) {
+        return Err(format!(
+            "--cores {cores} is not a whole number of {cpn}-core `{}` nodes",
+            machine.name
+        ));
+    }
+    if cores / cpn > machine.nodes {
+        return Err(format!(
+            "--cores {cores} exceeds `{}` ({} nodes x {cpn} cores)",
+            machine.name, machine.nodes
+        ));
+    }
+    Ok(())
 }
 
 fn platform(name: &str) -> Result<ClusterSpec, String> {
@@ -116,7 +182,12 @@ fn workload(name: &str, steps: usize) -> Result<TaskGraph, String> {
 }
 
 fn main() {
-    let o = match parse_args() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        std::process::exit(serve_main(&mut args));
+    }
+    let o = match parse_args(&mut args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("ptsched: {e} (try --help)");
@@ -179,5 +250,261 @@ fn main() {
     if let Err(e) = run() {
         eprintln!("ptsched: {e}");
         std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve mode
+// ---------------------------------------------------------------------------
+
+struct ServeOptions {
+    listen: Option<String>,
+    config: ServeConfig,
+}
+
+fn parse_serve_args(args: &mut dyn Iterator<Item = String>) -> Result<ServeOptions, String> {
+    let mut o = ServeOptions {
+        listen: None,
+        config: ServeConfig::default(),
+    };
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let positive = |name: &str, v: String| -> Result<usize, String> {
+            let n: usize = v.parse().map_err(|e| format!("{name}: {e}"))?;
+            if n == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+            Ok(n)
+        };
+        match a.as_str() {
+            "--listen" => o.listen = Some(take("--listen")?),
+            "--workers" => o.config.workers = positive("--workers", take("--workers")?)?,
+            "--sweep-workers" => {
+                o.config.sweep_workers = positive("--sweep-workers", take("--sweep-workers")?)?
+            }
+            "--cache-capacity" => {
+                o.config.cache_capacity = positive("--cache-capacity", take("--cache-capacity")?)?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ptsched serve [--listen HOST:PORT] [--workers N] \
+                     [--sweep-workers N] [--cache-capacity N]\n\
+                     reads one JSON request per line (stdin, or per TCP \
+                     connection with --listen) and writes one JSON response \
+                     per line"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+/// Workload graphs memoized by (name, steps): repeated requests share one
+/// `Arc`, so the cache's structural verification short-circuits on pointer
+/// equality.
+type GraphCache = Mutex<HashMap<(String, usize), Arc<TaskGraph>>>;
+
+struct ServeState {
+    service: SchedService,
+    graphs: GraphCache,
+    machines: Mutex<HashMap<(String, usize), Arc<ClusterSpec>>>,
+}
+
+fn serve_main(args: &mut dyn Iterator<Item = String>) -> i32 {
+    let o = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ptsched: serve: {e} (try ptsched serve --help)");
+            return 2;
+        }
+    };
+    let state = Arc::new(ServeState {
+        service: SchedService::new(o.config),
+        graphs: Mutex::new(HashMap::new()),
+        machines: Mutex::new(HashMap::new()),
+    });
+    match o.listen {
+        None => {
+            let stdin = std::io::stdin();
+            let mut out = std::io::stdout().lock();
+            for line in stdin.lock().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(_) => break,
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if writeln!(out, "{}", handle_line(&state, &line)).is_err() {
+                    break;
+                }
+                let _ = out.flush();
+            }
+            0
+        }
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("ptsched: serve: cannot listen on {addr}: {e}");
+                    return 1;
+                }
+            };
+            // Tests and scripts need the actual port when binding port 0.
+            if let Ok(local) = listener.local_addr() {
+                println!("listening on {local}");
+                let _ = std::io::stdout().flush();
+            }
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let state = state.clone();
+                std::thread::spawn(move || serve_connection(&state, stream));
+            }
+            0
+        }
+    }
+}
+
+fn serve_connection(state: &ServeState, stream: std::net::TcpStream) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut out = std::io::BufWriter::new(peer);
+    for line in std::io::BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if writeln!(out, "{}", handle_line(state, &line)).is_err() {
+            break;
+        }
+        let _ = out.flush();
+    }
+}
+
+#[derive(Serialize)]
+struct ServeReplyLine {
+    ok: bool,
+    cache: String,
+    signature: String,
+    layers: usize,
+    makespan_ms_per_step: f64,
+    cost_evaluations: usize,
+}
+
+fn error_line(msg: &str) -> String {
+    let v = Value::Map(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(msg.into())),
+    ]);
+    serde_json::to_string(&v).expect("serialize error response")
+}
+
+/// Answer one request line with one response line (never panics: every
+/// failure becomes an `{"ok":false,...}` response).
+fn handle_line(state: &ServeState, line: &str) -> String {
+    match serve_request(state, line) {
+        Ok(reply) => reply,
+        Err(e) => error_line(&e),
+    }
+}
+
+fn serve_request(state: &ServeState, line: &str) -> Result<String, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+    if let Some(Value::Str(cmd)) = get(&v, "cmd") {
+        return match cmd.as_str() {
+            "stats" => {
+                let v = Value::Map(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("stats".into(), state.service.stats().serialize()),
+                ]);
+                Ok(serde_json::to_string(&v).expect("serialize stats"))
+            }
+            other => Err(format!("unknown command `{other}`")),
+        };
+    }
+    let workload_name = str_or(&v, "workload", "epol")?;
+    let platform_name = str_or(&v, "platform", "chic")?;
+    let cores = usize_or(&v, "cores", 64)?;
+    let mapping_name = str_or(&v, "mapping", "consecutive")?;
+    let groups = opt_usize(&v, "groups")?;
+    let steps = usize_or(&v, "steps", 2)?;
+    if steps == 0 {
+        return Err("steps must be at least 1".into());
+    }
+    if !WORKLOADS.contains(&workload_name.as_str()) {
+        return Err(format!("unknown workload `{workload_name}`"));
+    }
+
+    let machine = {
+        let base = platform(&platform_name)?;
+        check_cores(&base, cores)?;
+        state
+            .machines
+            .lock()
+            .expect("machine cache lock")
+            .entry((platform_name.clone(), cores))
+            .or_insert_with(|| Arc::new(base.with_cores(cores)))
+            .clone()
+    };
+    let graph = {
+        let mut graphs = state.graphs.lock().expect("graph cache lock");
+        match graphs.entry((workload_name.clone(), steps)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Arc::new(workload(&workload_name, steps)?)).clone()
+            }
+        }
+    };
+    let mut request = ScheduleRequest::new(graph, machine, mapping(&mapping_name)?);
+    request.policy.fixed_groups = groups;
+
+    let (reply, status) = state.service.schedule(request).map_err(|e| e.to_string())?;
+    let line = ServeReplyLine {
+        ok: true,
+        cache: match status {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Followed => "followed",
+        }
+        .into(),
+        signature: reply.signature.to_string(),
+        layers: reply.schedule.layers.len(),
+        makespan_ms_per_step: reply.makespan / steps as f64 * 1e3,
+        cost_evaluations: reply.cost_evaluations,
+    };
+    Ok(serde_json::to_string(&line).expect("serialize response"))
+}
+
+fn get<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn str_or(v: &Value, name: &str, default: &str) -> Result<String, String> {
+    match get(v, name) {
+        None | Some(Value::Null) => Ok(default.into()),
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(format!("field `{name}` must be a string, got {other:?}")),
+    }
+}
+
+fn usize_or(v: &Value, name: &str, default: usize) -> Result<usize, String> {
+    match opt_usize(v, name)? {
+        Some(n) => Ok(n),
+        None => Ok(default),
+    }
+}
+
+fn opt_usize(v: &Value, name: &str) -> Result<Option<usize>, String> {
+    match get(v, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => <usize as serde::Deserialize>::deserialize(val)
+            .map(Some)
+            .map_err(|_| format!("field `{name}` must be a non-negative integer, got {val:?}")),
     }
 }

@@ -25,4 +25,5 @@ pub use pt_mtask as mtask;
 pub use pt_nas as nas;
 pub use pt_obs as obs;
 pub use pt_ode as ode;
+pub use pt_serve as serve;
 pub use pt_sim as sim;
