@@ -49,6 +49,17 @@ const LPT_HEAP_THRESHOLD: usize = 16;
 /// threads; below it the spawn overhead outweighs the sweep itself.
 const PARALLEL_SWEEP_MIN_WORK: usize = 1 << 14;
 
+/// Minimum layer size before the LPT *inner* work (per-task time fills and
+/// the LPT order sort) fans out across threads.  Only the top-level LPT
+/// paths parallelize — scratches inside g-sweep workers stay serial
+/// (`workers == 1`), so the two levels never oversubscribe.
+const PARALLEL_LPT_MIN_TASKS: usize = 4096;
+
+/// Minimum layer size before the g-sweep consults the makespan lower bound
+/// to prune candidates; below it the bound costs as much as running the
+/// candidate outright.
+const LB_PRUNE_MIN_TASKS: usize = 64;
+
 /// Per-task times at one width, cached so consecutive candidates sharing a
 /// width (`⌊P/g⌋` repeats for many `g`) skip the table walk entirely.
 #[derive(Default)]
@@ -59,18 +70,35 @@ struct CachedTimes {
 }
 
 impl CachedTimes {
-    /// Per-task times at `width`, refilled from `table` on miss.
+    /// Per-task times at `width`, refilled from `table` on miss.  Each
+    /// element is an independent pure table lookup, so chunking the fill
+    /// across `workers` threads is value-identical to the serial loop.
     fn fill<'s>(
         &'s mut self,
         table: &CostTable<'_>,
         tasks: &[(TaskId, &MTask)],
         width: usize,
+        workers: usize,
     ) -> &'s [f64] {
         if self.width != width {
             self.width = width;
             self.times.clear();
-            self.times
-                .extend(tasks.iter().map(|(id, m)| table.symbolic(*id, m, width)));
+            if workers <= 1 || tasks.len() < PARALLEL_LPT_MIN_TASKS {
+                self.times
+                    .extend(tasks.iter().map(|(id, m)| table.symbolic(*id, m, width)));
+            } else {
+                self.times.resize(tasks.len(), 0.0);
+                let chunk = tasks.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    for (ts, out) in tasks.chunks(chunk).zip(self.times.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            for (o, (id, m)) in out.iter_mut().zip(ts) {
+                                *o = table.symbolic(*id, m, width);
+                            }
+                        });
+                    }
+                });
+            }
         }
         &self.times
     }
@@ -78,6 +106,51 @@ impl CachedTimes {
     fn invalidate(&mut self) {
         self.width = usize::MAX;
     }
+}
+
+/// LPT priority: decreasing time, original index breaking ties (what a
+/// stable descending sort yields).  Keys are unique (distinct indices), so
+/// every comparison sort — serial or chunked-and-merged — produces the
+/// identical sequence.
+#[inline]
+fn lpt_cmp(a: &(TotalF64, u32), b: &(TotalF64, u32)) -> std::cmp::Ordering {
+    b.0.cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// Sort the LPT order, fanning large layers out as per-chunk sorts plus one
+/// deterministic k-way merge.
+fn sort_lpt_order(order: &mut Vec<(TotalF64, u32)>, workers: usize) {
+    if workers <= 1 || order.len() < PARALLEL_LPT_MIN_TASKS {
+        order.sort_unstable_by(lpt_cmp);
+        return;
+    }
+    let chunk = order.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for run in order.chunks_mut(chunk) {
+            s.spawn(move || run.sort_unstable_by(lpt_cmp));
+        }
+    });
+    let mut merged = Vec::with_capacity(order.len());
+    {
+        let runs: Vec<&[(TotalF64, u32)]> = order.chunks(chunk).collect();
+        let mut cursors = vec![0usize; runs.len()];
+        for _ in 0..order.len() {
+            let mut best: Option<usize> = None;
+            for (r, run) in runs.iter().enumerate() {
+                if cursors[r] < run.len()
+                    && best.is_none_or(|b| {
+                        lpt_cmp(&run[cursors[r]], &runs[b][cursors[b]]) == std::cmp::Ordering::Less
+                    })
+                {
+                    best = Some(r);
+                }
+            }
+            let b = best.expect("merge exhausts all runs together");
+            merged.push(runs[b][cursors[b]]);
+            cursors[b] += 1;
+        }
+    }
+    *order = merged;
 }
 
 /// Reusable buffers for one LPT evaluation, so the sweep does not allocate
@@ -94,6 +167,11 @@ pub(crate) struct LptScratch {
     hi: CachedTimes,
     acc: Vec<f64>,
     heap: BinaryHeap<Reverse<(TotalF64, usize)>>,
+    /// Threads the inner fill/sort work may fan out over.  Stays 1 for
+    /// scratches owned by g-sweep worker threads (the outer sweep already
+    /// saturates the machine); the top-level scheduling paths raise it for
+    /// layers past [`PARALLEL_LPT_MIN_TASKS`].
+    workers: usize,
 }
 
 impl Default for LptScratch {
@@ -111,6 +189,7 @@ impl Default for LptScratch {
             },
             acc: Vec::new(),
             heap: BinaryHeap::new(),
+            workers: 1,
         }
     }
 }
@@ -265,6 +344,15 @@ impl<'a> LayerScheduler<'a> {
         assert!(!tasks.is_empty(), "cannot schedule an empty layer");
         let max_g = tasks.len().min(total);
         scratch.reset();
+        // Inner LPT parallelism for this (top-level) scratch.  Sweep worker
+        // threads build their own serial scratches, so raising this here
+        // never nests fan-outs.  An explicit sweep worker count also pins
+        // the inner width (tests rely on `Some(1)` meaning fully serial).
+        scratch.workers = if tasks.len() < PARALLEL_LPT_MIN_TASKS {
+            1
+        } else {
+            self.sweep_workers.unwrap_or_else(default_workers)
+        };
         let rec = self.recorder.as_deref();
 
         let t0 = rec.map_or(0.0, pt_obs::Recorder::now_us);
@@ -400,13 +488,18 @@ fn sweep_range(
     candidates: Vec<usize>,
     scratch: &mut LptScratch,
 ) -> Option<(f64, usize)> {
+    // Cheap path for small layers: the lower bound costs nearly as much as
+    // the LPT run it tries to skip (both are two fills plus a linear scan),
+    // so pruning only pays past this size.  Pruning never changes the
+    // winner, so neither does skipping it.
+    let prune = tasks.len() >= LB_PRUNE_MIN_TASKS;
     let mut best: Option<(f64, usize)> = None;
     for g in candidates {
         // A candidate whose lower bound cannot *strictly* beat the best
         // makespan can be skipped without affecting the winner (ties keep
         // the earlier, smaller g).
         if let Some((bt, _)) = best {
-            if candidate_lower_bound(table, tasks, g, total, scratch) >= bt {
+            if prune && candidate_lower_bound(table, tasks, g, total, scratch) >= bt {
                 continue;
             }
         }
@@ -430,9 +523,10 @@ fn candidate_lower_bound(
 ) -> f64 {
     let base = total / g;
     let extra = total % g;
-    let lo = scratch.lo.fill(table, tasks, base);
+    let workers = scratch.workers;
+    let lo = scratch.lo.fill(table, tasks, base, workers);
     let hi: &[f64] = if extra > 0 {
-        scratch.hi.fill(table, tasks, base + 1)
+        scratch.hi.fill(table, tasks, base + 1, workers)
     } else {
         lo
     };
@@ -478,17 +572,19 @@ fn assign_lpt(
         hi,
         acc,
         heap,
+        workers,
     } = scratch;
+    let workers = *workers;
     // Times at the two subset widths; groups `l < extra` get `base + 1`.
-    let lo_times: &[f64] = lo.fill(table, tasks, base);
+    let lo_times: &[f64] = lo.fill(table, tasks, base, workers);
     let hi_times: &[f64] = if extra > 0 {
-        hi.fill(table, tasks, base + 1)
+        hi.fill(table, tasks, base + 1, workers)
     } else {
         lo_times
     };
 
     // LPT order by decreasing time at the first subset's width, original
-    // index breaking ties (what a stable descending sort yields).
+    // index breaking ties.
     let width0 = base + usize::from(extra > 0);
     if *order_width != width0 {
         *order_width = width0;
@@ -500,7 +596,7 @@ fn assign_lpt(
                 .enumerate()
                 .map(|(i, &t)| (TotalF64(t), i as u32)),
         );
-        order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        sort_lpt_order(order, workers);
     }
 
     if let Some(asg) = assignment.as_deref_mut() {
@@ -693,6 +789,61 @@ mod tests {
             .with_sweep_workers(4)
             .schedule(&g);
         assert_eq!(a, threaded, "parallel sweep must match the serial sweep");
+    }
+
+    #[test]
+    fn parallel_lpt_sort_matches_serial_sort() {
+        // Unique (time, index) keys ⇒ chunked sort + k-way merge must equal
+        // the single serial sort exactly, including duplicate-time runs.
+        let n = PARALLEL_LPT_MIN_TASKS + 137;
+        let mut x = 0x2545f4914f6cdd1du64;
+        let base: Vec<(TotalF64, u32)> = (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Coarse buckets force many exact time ties.
+                (TotalF64((x % 97) as f64), i as u32)
+            })
+            .collect();
+        for workers in [2, 3, 8] {
+            let mut serial = base.clone();
+            let mut parallel = base.clone();
+            sort_lpt_order(&mut serial, 1);
+            sort_lpt_order(&mut parallel, workers);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial_fill() {
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let tasks: Vec<MTask> = (0..PARALLEL_LPT_MIN_TASKS + 5)
+            .map(|i| {
+                MTask::with_comm(
+                    format!("t{i}"),
+                    1e6 + i as f64,
+                    vec![CommOp::allgather(1024.0 + i as f64, 1.0)],
+                )
+            })
+            .collect();
+        let list: Vec<(TaskId, &MTask)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i), t))
+            .collect();
+        let table = CostTable::with_width(&model, list.len(), 64);
+        let mut serial = CachedTimes::default();
+        serial.invalidate();
+        let a = serial.fill(&table, &list, 7, 1).to_vec();
+        let mut par = CachedTimes::default();
+        par.invalidate();
+        let b = par.fill(&table, &list, 7, 4).to_vec();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

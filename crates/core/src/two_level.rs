@@ -100,6 +100,7 @@ impl<'a> LayerScheduler<'a> {
             layers: Vec::new(),
         };
         let mut scratch = crate::layer_sched::LptScratch::default();
+        let mut tasks: Vec<(TaskId, &MTask)> = Vec::new();
         let t0 = rec.map_or(0.0, Recorder::now_us);
         let layer_lists = pt_mtask::layers(&cg.graph);
         if let Some(r) = rec {
@@ -114,8 +115,8 @@ impl<'a> LayerScheduler<'a> {
         }
         for (li, layer) in layer_lists.into_iter().enumerate() {
             let t0 = rec.map_or(0.0, Recorder::now_us);
-            let tasks: Vec<(TaskId, &MTask)> =
-                layer.iter().map(|&t| (t, cg.graph.task(t))).collect();
+            tasks.clear();
+            tasks.extend(layer.iter().map(|&t| (t, cg.graph.task(t))));
             let (sizes, assignment) =
                 self.schedule_layer_scratch(table, &tasks, total, &mut scratch);
             if let Some(r) = rec {

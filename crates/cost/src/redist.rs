@@ -4,7 +4,9 @@
 use crate::collectives::CostModel;
 use crate::context::CommContext;
 use pt_machine::CoreId;
-use pt_mtask::{dist::redistribution_volumes, Distribution, EdgeData, RedistPattern};
+#[cfg(test)]
+use pt_mtask::{dist::redistribution_volumes, Distribution};
+use pt_mtask::{EdgeData, RedistPattern};
 
 impl CostModel<'_> {
     /// Re-distribution time for the datum of `edge` moving from the group
@@ -66,10 +68,60 @@ impl CostModel<'_> {
     /// Block → block re-partitioning: the element-overlap volume matrix is
     /// computed symbolically; every core pays its serialised send/receive
     /// time; the result is the slowest core.
+    ///
+    /// Block distributions are contiguous partitions, so source rank `s`
+    /// overlaps only the destination ranks whose blocks intersect
+    /// `[s·cs, (s+1)·cs)` — a band of at most `⌈cs/cd⌉ + 1` ranks.  The
+    /// pass walks exactly that band in the same s-major order the dense
+    /// `redistribution_volumes` matrix would be traversed in, with the same
+    /// overlap values, so the floating-point accumulation is bit-identical
+    /// to the all-pairs formulation (kept below under `#[cfg(test)]` as the
+    /// oracle) while costing O(qs + qd) instead of O(qs · qd).
     fn block_redist(&self, ctx: &CommContext, bytes: f64, src: &[CoreId], dst: &[CoreId]) -> f64 {
         let qs = src.len();
         let qd = dst.len();
         // Work with a virtual element count so volumes become byte shares.
+        let elems: usize = 1 << 20;
+        let per_elem = bytes / elems as f64;
+        let cs = elems.div_ceil(qs);
+        let cd = elems.div_ceil(qd);
+        let mut send_time = vec![0.0f64; qs];
+        let mut recv_time = vec![0.0f64; qd];
+        for s in 0..qs {
+            let slo = (s * cs).min(elems);
+            let shi = ((s + 1) * cs).min(elems);
+            if slo >= shi {
+                break; // later source ranks own nothing either
+            }
+            for d in slo / cd..=(shi - 1) / cd {
+                let dlo = (d * cd).min(elems);
+                let dhi = ((d + 1) * cd).min(elems);
+                let v = shi.min(dhi).saturating_sub(slo.max(dlo));
+                if v == 0 || src[s] == dst[d] {
+                    continue;
+                }
+                let t = self.p2p(ctx, src[s], dst[d], v as f64 * per_elem);
+                send_time[s] += t;
+                recv_time[d] += t;
+            }
+        }
+        let worst_send = send_time.iter().copied().fold(0.0, f64::max);
+        let worst_recv = recv_time.iter().copied().fold(0.0, f64::max);
+        worst_send.max(worst_recv)
+    }
+
+    /// The original dense-matrix formulation, kept as the oracle for the
+    /// bit-equality tests of the banded [`block_redist`](Self::block_redist).
+    #[cfg(test)]
+    fn block_redist_dense(
+        &self,
+        ctx: &CommContext,
+        bytes: f64,
+        src: &[CoreId],
+        dst: &[CoreId],
+    ) -> f64 {
+        let qs = src.len();
+        let qd = dst.len();
         let elems = 1 << 20;
         let per_elem = bytes / elems as f64;
         let vol = redistribution_volumes(elems, Distribution::Block, qs, Distribution::Block, qd);
@@ -155,7 +207,11 @@ fn node_interleaved(spec: &pt_machine::ClusterSpec, mut cores: Vec<CoreId>) -> V
 
 /// True if every core of `a` is also in `b`.
 fn subset(a: &[CoreId], b: &[CoreId]) -> bool {
-    a.iter().all(|c| b.contains(c))
+    if a.len().saturating_mul(b.len()) <= 64 * 64 {
+        return a.iter().all(|c| b.contains(c));
+    }
+    let b: std::collections::HashSet<usize> = b.iter().map(|c| c.0).collect();
+    a.iter().all(|c| b.contains(&c.0))
 }
 
 fn same_set(a: &[CoreId], b: &[CoreId]) -> bool {
@@ -270,6 +326,39 @@ mod tests {
             t_scat < t_cons,
             "orthogonal exchange should favour scattered mapping ({t_scat} vs {t_cons})"
         );
+    }
+
+    #[test]
+    fn banded_block_redist_is_bit_equal_to_dense() {
+        let spec = platforms::chic().with_nodes(16); // 64 cores
+        let m = CostModel::new(&spec);
+        let mut ctx = CommContext::uniform(&spec);
+        ctx.sharers[3] = 2.0;
+        ctx.sharers[7] = 5.0;
+        // Group-size pairs covering widening, narrowing, equal, uneven, and
+        // prime splits; scattered core sets exercise the p2p level logic.
+        for (qs, qd) in [
+            (4, 4),
+            (4, 16),
+            (16, 4),
+            (7, 13),
+            (13, 7),
+            (1, 8),
+            (8, 1),
+            (5, 5),
+        ] {
+            let src: Vec<CoreId> = (0..qs).map(|i| CoreId((i * 5) % 64)).collect();
+            let dst: Vec<CoreId> = (0..qd).map(|i| CoreId((i * 11 + 1) % 64)).collect();
+            for bytes in [8.0, 4096.0, 1e6] {
+                let fast = m.block_redist(&ctx, bytes, &src, &dst);
+                let slow = m.block_redist_dense(&ctx, bytes, &src, &dst);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "banded {fast} != dense {slow} for {qs}x{qd} @ {bytes}B"
+                );
+            }
+        }
     }
 
     #[test]

@@ -64,11 +64,16 @@ impl ChainGraph {
         }
 
         // Build the contracted graph: accumulate work and internal comm.
-        let mut graph = TaskGraph::new();
+        // Singleton chains share the original payload (`Arc` bump, no deep
+        // copy — pinned by `task_clone_count` in the tests below); merged
+        // chains build one fresh node.
+        let mut graph = TaskGraph::with_capacity(members.len(), g.edge_count());
         for chain in &members {
-            let node = if chain.len() == 1 {
-                g.task(chain[0]).clone()
-            } else {
+            if chain.len() == 1 {
+                graph.add_task_shared(g.task_arc(chain[0]).clone());
+                continue;
+            }
+            let node = {
                 let name = format!(
                     "chain[{}..{}]",
                     g.task(chain[0]).name,
@@ -106,13 +111,30 @@ impl ChainGraph {
         }
         // External edges: between different chains only.  The contracted
         // graph is a quotient of a DAG along its topological order, so no
-        // cycle can appear — skip `add_edge`'s per-edge path check.
+        // cycle can appear — skip `add_edge`'s per-edge path check.  Instead
+        // of probing the adjacency lists per edge, pre-merge duplicates in
+        // one stable sort (equal keys keep encounter order, so payload
+        // merges fold left-to-right exactly as repeated `add_edge` would)
+        // and bulk-append the unique records.
+        let mut ext: Vec<(u32, u32, &crate::graph::EdgeData)> = Vec::with_capacity(g.edge_count());
         for (a, b, data) in g.edges() {
             let ca = chain_of[a.0];
             let cb = chain_of[b.0];
             if ca != cb {
-                graph.add_edge_trusted(TaskId(ca), TaskId(cb), *data);
+                ext.push((ca as u32, cb as u32, data));
             }
+        }
+        ext.sort_by_key(|&(ca, cb, _)| (ca, cb));
+        let mut i = 0;
+        while i < ext.len() {
+            let (ca, cb, first) = ext[i];
+            let mut data = *first;
+            i += 1;
+            while i < ext.len() && ext[i].0 == ca && ext[i].1 == cb {
+                data = data.merge(*ext[i].2);
+                i += 1;
+            }
+            graph.push_edge_unchecked(TaskId(ca as usize), TaskId(cb as usize), data);
         }
 
         ChainGraph { graph, members }
@@ -240,6 +262,32 @@ mod tests {
         let cg = ChainGraph::contract(&g);
         assert_eq!(cg.graph.len(), 1);
         assert_eq!(cg.graph.task(TaskId(0)).max_cores, Some(4));
+    }
+
+    #[test]
+    fn contraction_performs_zero_per_node_clones() {
+        // The arena path shares singleton payloads via `Arc` and builds
+        // merged chains from scratch: no `MTask::clone` may run.  The
+        // counter is thread-local, so concurrently running tests cannot
+        // pollute the delta.
+        let (g, _, _) = epol_like(8);
+        let before = crate::task::task_clone_count();
+        let cg = ChainGraph::contract(&g);
+        let after = crate::task::task_clone_count();
+        assert_eq!(
+            after - before,
+            0,
+            "chain contraction deep-copied a task payload"
+        );
+        // Singletons really are shared, not copied.
+        for (i, chain) in cg.members.iter().enumerate() {
+            if let [t] = chain[..] {
+                assert!(std::sync::Arc::ptr_eq(
+                    cg.graph.task_arc(TaskId(i)),
+                    g.task_arc(t)
+                ));
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,25 @@
 //! The coordination DAG of an M-task program.
+//!
+//! # Arena layout
+//!
+//! Nodes and edges live in flat arenas (`Vec`s) indexed by small integers:
+//! task payloads are `Arc<MTask>` slots (so cloning a graph or contracting
+//! chains bumps refcounts instead of deep-copying names and comm lists), and
+//! every edge is one record in an insertion-ordered arena with per-node
+//! adjacency lists holding *edge indices* into it.  There is no hash map —
+//! `edge(from, to)` scans the smaller of the two incident adjacency lists,
+//! which is O(degree) and degrees are tiny in coordination DAGs.
+//!
+//! Iteration-order guarantees (relied on by chain contraction, layering and
+//! the schedulers for cross-process determinism):
+//! - [`TaskGraph::edges`] yields edges in **insertion order**;
+//! - [`TaskGraph::preds`]/[`TaskGraph::succs`] list neighbours in the order
+//!   their edges were inserted;
+//! - serialisation round-trips preserve both orders exactly.
 
 use crate::task::MTask;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use serde::{Deserialize, Error, Serialize, Value};
+use std::sync::Arc;
 
 /// Index of a task inside a [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -64,8 +81,8 @@ impl EdgeData {
         }
     }
 
-    /// Merge two payloads on the same edge (keeps the larger volume; a data
-    /// pattern wins over a pure ordering pattern).
+    /// Merge two payloads on the same edge (volumes add; a data pattern wins
+    /// over a pure ordering pattern).
     pub fn merge(self, other: EdgeData) -> EdgeData {
         let pattern = if self.pattern == RedistPattern::None {
             other.pattern
@@ -79,80 +96,37 @@ impl EdgeData {
     }
 }
 
+/// One record of the edge arena.
+#[derive(Debug, Clone, Copy)]
+struct EdgeRec {
+    from: u32,
+    to: u32,
+    data: EdgeData,
+}
+
 /// A directed acyclic graph of M-tasks.
 ///
 /// Nodes are [`MTask`]s; a directed edge `(a, b)` means `b` consumes output
 /// of `a` (or must be ordered after it) and therefore cannot start before
 /// `a` finished and the re-distribution described by the edge's
-/// [`EdgeData`] completed.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// [`EdgeData`] completed.  See the module docs for the arena layout and
+/// iteration-order guarantees.
+#[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
-    tasks: Vec<MTask>,
+    tasks: Vec<Arc<MTask>>,
+    /// Predecessor task ids, in edge-insertion order.
     preds: Vec<Vec<TaskId>>,
+    /// Successor task ids, in edge-insertion order.
     succs: Vec<Vec<TaskId>>,
-    // Serialised as a sequence of entries: JSON map keys must be strings,
-    // so a tuple-keyed map needs the seq form.
-    #[serde(with = "edge_map_serde")]
-    edge_data: EdgeMap,
-}
-
-/// Edge payloads keyed by `(from, to)` index pair.
-///
-/// Uses a fixed multiply-xor hasher instead of the default `RandomState`:
-/// edge keys are small trusted integers (no DoS surface), SipHash shows up
-/// in graph-construction profiles, and a fixed seed makes iteration order —
-/// and everything derived from it, like chain-contracted graphs — identical
-/// across processes.
-pub(crate) type EdgeMap =
-    HashMap<(usize, usize), EdgeData, std::hash::BuildHasherDefault<FxPairHasher>>;
-
-/// `FxHash`-style multiply-xor hasher for edge-index pairs.
-#[derive(Debug, Default, Clone)]
-pub(crate) struct FxPairHasher(u64);
-
-impl std::hash::Hasher for FxPairHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        // Only fixed-width integer keys are ever hashed; route any other
-        // use through the usize path for correctness.
-        for &b in bytes {
-            self.write_u64(u64::from(b));
-        }
-    }
-
-    #[inline]
-    fn write_usize(&mut self, i: usize) {
-        self.write_u64(i as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        // Firefox's FxHash step: rotate-xor then multiply by a constant
-        // with good bit dispersion.
-        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-mod edge_map_serde {
-    use super::{EdgeData, EdgeMap};
-    use serde::{Deserialize, Error, Serialize, Value};
-
-    pub fn serialize(map: &EdgeMap) -> Value {
-        let mut entries: Vec<(usize, usize, EdgeData)> =
-            map.iter().map(|(&(a, b), d)| (a, b, *d)).collect();
-        entries.sort_by_key(|e| (e.0, e.1));
-        entries.serialize()
-    }
-
-    pub fn deserialize(v: &Value) -> Result<EdgeMap, Error> {
-        let entries = Vec::<(usize, usize, EdgeData)>::deserialize(v)?;
-        Ok(entries.into_iter().map(|(a, b, e)| ((a, b), e)).collect())
-    }
+    /// Indices into `edges` of each node's incoming edges (aligned with
+    /// `preds`).
+    pred_eix: Vec<Vec<u32>>,
+    /// Indices into `edges` of each node's outgoing edges (aligned with
+    /// `succs`).
+    succ_eix: Vec<Vec<u32>>,
+    /// Insertion-ordered edge arena; duplicates are merged in place, so one
+    /// record per distinct `(from, to)` pair.
+    edges: Vec<EdgeRec>,
 }
 
 impl TaskGraph {
@@ -161,12 +135,35 @@ impl TaskGraph {
         TaskGraph::default()
     }
 
+    /// An empty graph with arena capacity for `tasks` nodes and `edges`
+    /// edge records (graph transforms that know their output size skip the
+    /// growth reallocations).
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::with_capacity(tasks),
+            preds: Vec::with_capacity(tasks),
+            succs: Vec::with_capacity(tasks),
+            pred_eix: Vec::with_capacity(tasks),
+            succ_eix: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
     /// Add a task, returning its id.
     pub fn add_task(&mut self, task: MTask) -> TaskId {
+        self.add_task_shared(Arc::new(task))
+    }
+
+    /// Add an already-shared task payload without copying it (a refcount
+    /// bump).  Chain contraction uses this to keep singleton chains
+    /// allocation-free.
+    pub fn add_task_shared(&mut self, task: Arc<MTask>) -> TaskId {
         let id = TaskId(self.tasks.len());
         self.tasks.push(task);
         self.preds.push(Vec::new());
         self.succs.push(Vec::new());
+        self.pred_eix.push(Vec::new());
+        self.succ_eix.push(Vec::new());
         id
     }
 
@@ -197,16 +194,46 @@ impl TaskGraph {
             from,
             to
         );
-        match self.edge_data.entry((from.0, to.0)) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let merged = e.get().merge(data);
-                *e.get_mut() = merged;
+        match self.edge_index(from, to) {
+            Some(ix) => {
+                let rec = &mut self.edges[ix as usize];
+                rec.data = rec.data.merge(data);
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(data);
-                self.succs[from.0].push(to);
-                self.preds[to.0].push(from);
-            }
+            None => self.push_edge_unchecked(from, to, data),
+        }
+    }
+
+    /// Append a new edge record without scanning for an existing duplicate.
+    /// Callers must guarantee `(from, to)` is not already present.
+    pub(crate) fn push_edge_unchecked(&mut self, from: TaskId, to: TaskId, data: EdgeData) {
+        debug_assert!(self.edge_index(from, to).is_none(), "duplicate edge");
+        let ix = self.edges.len() as u32;
+        self.edges.push(EdgeRec {
+            from: from.0 as u32,
+            to: to.0 as u32,
+            data,
+        });
+        self.succs[from.0].push(to);
+        self.succ_eix[from.0].push(ix);
+        self.preds[to.0].push(from);
+        self.pred_eix[to.0].push(ix);
+    }
+
+    /// Arena index of edge `from → to`, if present.  Scans the smaller of
+    /// the two incident adjacency lists.
+    fn edge_index(&self, from: TaskId, to: TaskId) -> Option<u32> {
+        let out = &self.succ_eix[from.0];
+        let inc = &self.pred_eix[to.0];
+        if out.len() <= inc.len() {
+            let to = to.0 as u32;
+            out.iter()
+                .copied()
+                .find(|&ix| self.edges[ix as usize].to == to)
+        } else {
+            let from = from.0 as u32;
+            inc.iter()
+                .copied()
+                .find(|&ix| self.edges[ix as usize].from == from)
         }
     }
 
@@ -227,17 +254,26 @@ impl TaskGraph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_data.len()
+        self.edges.len()
     }
 
     /// The task payload.
+    #[inline]
     pub fn task(&self, id: TaskId) -> &MTask {
         &self.tasks[id.0]
     }
 
-    /// Mutable access to a task payload.
+    /// The shared handle to a task payload (cheap to clone into another
+    /// graph).
+    #[inline]
+    pub fn task_arc(&self, id: TaskId) -> &Arc<MTask> {
+        &self.tasks[id.0]
+    }
+
+    /// Mutable access to a task payload (copy-on-write: deep-copies the
+    /// payload only if it is shared with another graph).
     pub fn task_mut(&mut self, id: TaskId) -> &mut MTask {
-        &mut self.tasks[id.0]
+        Arc::make_mut(&mut self.tasks[id.0])
     }
 
     /// All task ids in insertion order.
@@ -245,26 +281,45 @@ impl TaskGraph {
         (0..self.tasks.len()).map(TaskId)
     }
 
-    /// Direct predecessors of `id`.
+    /// Direct predecessors of `id`, in edge-insertion order.
+    #[inline]
     pub fn preds(&self, id: TaskId) -> &[TaskId] {
         &self.preds[id.0]
     }
 
-    /// Direct successors of `id`.
+    /// Direct successors of `id`, in edge-insertion order.
+    #[inline]
     pub fn succs(&self, id: TaskId) -> &[TaskId] {
         &self.succs[id.0]
     }
 
     /// Edge payload, if the edge exists.
     pub fn edge(&self, from: TaskId, to: TaskId) -> Option<&EdgeData> {
-        self.edge_data.get(&(from.0, to.0))
+        self.edge_index(from, to)
+            .map(|ix| &self.edges[ix as usize].data)
     }
 
-    /// Iterate over all edges.
+    /// Iterate over all edges, in insertion order.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId, &EdgeData)> + '_ {
-        self.edge_data
+        self.edges
             .iter()
-            .map(|(&(a, b), d)| (TaskId(a), TaskId(b), d))
+            .map(|e| (TaskId(e.from as usize), TaskId(e.to as usize), &e.data))
+    }
+
+    /// Incoming edges of `id` as `(pred, payload)`, in insertion order.
+    pub fn in_edges(&self, id: TaskId) -> impl Iterator<Item = (TaskId, &EdgeData)> + '_ {
+        self.pred_eix[id.0].iter().map(|&ix| {
+            let e = &self.edges[ix as usize];
+            (TaskId(e.from as usize), &e.data)
+        })
+    }
+
+    /// Outgoing edges of `id` as `(succ, payload)`, in insertion order.
+    pub fn out_edges(&self, id: TaskId) -> impl Iterator<Item = (TaskId, &EdgeData)> + '_ {
+        self.succ_eix[id.0].iter().map(|&ix| {
+            let e = &self.edges[ix as usize];
+            (TaskId(e.to as usize), &e.data)
+        })
     }
 
     /// True if there is a directed path `from ⤳ to` (including `from == to`).
@@ -377,6 +432,50 @@ impl TaskGraph {
             bl[u.0] = base + work_of(u);
         }
         bl
+    }
+}
+
+// Serialised shape: `{"tasks": [...], "edges": [[from, to, data], ...]}`
+// with edges in insertion order, so a round-trip reproduces adjacency order
+// (and therefore every downstream iteration order) exactly.  The legacy
+// field name `edge_data` (same seq-of-triples shape, sorted) is accepted on
+// input for artefacts written before the arena layout.
+impl Serialize for TaskGraph {
+    fn serialize(&self) -> Value {
+        let tasks: Vec<&MTask> = self.tasks.iter().map(|t| &**t).collect();
+        let edges: Vec<(usize, usize, EdgeData)> = self
+            .edges
+            .iter()
+            .map(|e| (e.from as usize, e.to as usize, e.data))
+            .collect();
+        Value::Map(vec![
+            ("tasks".to_string(), tasks.serialize()),
+            ("edges".to_string(), edges.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for TaskGraph {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let tasks = Vec::<MTask>::deserialize(serde::field(v, "tasks")?)?;
+        let entries = match serde::field(v, "edges") {
+            Ok(e) => Vec::<(usize, usize, EdgeData)>::deserialize(e)?,
+            Err(_) => Vec::<(usize, usize, EdgeData)>::deserialize(serde::field(v, "edge_data")?)?,
+        };
+        let mut g = TaskGraph::new();
+        for t in tasks {
+            g.add_task(t);
+        }
+        let n = g.len();
+        for (a, b, data) in entries {
+            if a >= n || b >= n {
+                return Err(Error::msg(format!(
+                    "edge ({a}, {b}) out of range for {n} tasks"
+                )));
+            }
+            g.add_edge_trusted(TaskId(a), TaskId(b), data);
+        }
+        Ok(g)
     }
 }
 
@@ -503,5 +602,84 @@ mod tests {
     fn total_work_sums() {
         let (g, _) = fig1_graph();
         assert_eq!(g.total_work(), (1..=9).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn edges_iterate_in_insertion_order() {
+        let (g, m) = fig1_graph();
+        let got: Vec<(TaskId, TaskId)> = g.edges().map(|(a, b, _)| (a, b)).collect();
+        let want = vec![
+            (m[0], m[1]),
+            (m[0], m[2]),
+            (m[0], m[3]),
+            (m[1], m[4]),
+            (m[2], m[4]),
+            (m[2], m[5]),
+            (m[3], m[5]),
+            (m[4], m[6]),
+            (m[4], m[7]),
+            (m[5], m[7]),
+            (m[5], m[8]),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn in_out_edges_align_with_adjacency() {
+        let (g, _) = fig1_graph();
+        for t in g.task_ids() {
+            let ins: Vec<TaskId> = g.in_edges(t).map(|(p, _)| p).collect();
+            let outs: Vec<TaskId> = g.out_edges(t).map(|(s, _)| s).collect();
+            assert_eq!(ins, g.preds(t));
+            assert_eq!(outs, g.succs(t));
+            for (p, d) in g.in_edges(t) {
+                assert_eq!(g.edge(p, t).unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_payloads_are_copy_on_write() {
+        let mut a = TaskGraph::new();
+        let t = a.add_task(MTask::compute("x", 1.0));
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(a.task_arc(t), b.task_arc(t)));
+        b.task_mut(t).work = 2.0;
+        assert_eq!(a.task(t).work, 1.0);
+        assert_eq!(b.task(t).work, 2.0);
+        assert!(!Arc::ptr_eq(a.task_arc(t), b.task_arc(t)));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_adjacency_order() {
+        let (g, _) = fig1_graph();
+        let v = g.serialize();
+        let back = TaskGraph::deserialize(&v).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for t in g.task_ids() {
+            assert_eq!(back.task(t), g.task(t));
+            assert_eq!(back.preds(t), g.preds(t));
+            assert_eq!(back.succs(t), g.succs(t));
+        }
+        let a: Vec<_> = g.edges().map(|(x, y, d)| (x, y, *d)).collect();
+        let b: Vec<_> = back.edges().map(|(x, y, d)| (x, y, *d)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn legacy_edge_data_field_accepted() {
+        let (g, _) = fig1_graph();
+        let v = g.serialize();
+        let Value::Map(mut entries) = v else {
+            panic!("graph must serialise to a map")
+        };
+        for (k, _) in entries.iter_mut() {
+            if k == "edges" {
+                *k = "edge_data".to_string();
+            }
+        }
+        let back = TaskGraph::deserialize(&Value::Map(entries)).unwrap();
+        assert_eq!(back.edge_count(), g.edge_count());
     }
 }

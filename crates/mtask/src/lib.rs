@@ -37,4 +37,4 @@ pub use graph::{EdgeData, RedistPattern, TaskGraph, TaskId};
 pub use layer::layers;
 pub use parse::{parse, Arg, ParseError, TaskRegistry};
 pub use spec::{DataRef, Spec, SpecTask, TwoLevelProgram};
-pub use task::{CollectiveKind, CommOp, MTask};
+pub use task::{task_clone_count, CollectiveKind, CommOp, MTask};

@@ -66,7 +66,7 @@ impl CommOp {
 /// (`Tcomp`, here in floating-point operations so it can be scaled by the
 /// platform's per-core speed) and the internal communication operations
 /// (`Tcomm(M, q, mp)`, derived from [`comm`](MTask::comm) by the cost crate).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct MTask {
     /// Human-readable name, e.g. `"step(2,3)"`.
     pub name: String,
@@ -78,6 +78,33 @@ pub struct MTask {
     /// independent systems cannot use more than `K·n` cores); `None` means
     /// unbounded (moldable up to the machine width).
     pub max_cores: Option<usize>,
+}
+
+thread_local! {
+    static TASK_CLONES: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of deep [`MTask`] copies performed *on this thread* since it
+/// started.  The counterpart of `CostTable::evaluations()` for allocation
+/// pressure: graph transforms that are supposed to be clone-free (chain
+/// contraction over the arena graph, graph clones via `Arc` payloads)
+/// assert a zero delta across their run.
+pub fn task_clone_count() -> usize {
+    TASK_CLONES.with(|c| c.get())
+}
+
+// Deep copies are counted so perf tests can pin clone-free paths; the copy
+// itself is exactly what `#[derive(Clone)]` would generate.
+impl Clone for MTask {
+    fn clone(&self) -> Self {
+        TASK_CLONES.with(|c| c.set(c.get() + 1));
+        MTask {
+            name: self.name.clone(),
+            work: self.work,
+            comm: self.comm.clone(),
+            max_cores: self.max_cores,
+        }
+    }
 }
 
 impl MTask {

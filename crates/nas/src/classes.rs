@@ -13,6 +13,8 @@ pub enum Class {
     C,
     /// 32×32 zones, 1632×1216×34 aggregate points (1024 zones).
     D,
+    /// 64×64 zones, 4224×3456×92 aggregate points (4096 zones).
+    E,
 }
 
 impl Class {
@@ -23,6 +25,7 @@ impl Class {
             Class::B => (8, 8),
             Class::C => (16, 16),
             Class::D => (32, 32),
+            Class::E => (64, 64),
         }
     }
 
@@ -33,6 +36,7 @@ impl Class {
             Class::B => (304, 208, 17),
             Class::C => (480, 320, 28),
             Class::D => (1632, 1216, 34),
+            Class::E => (4224, 3456, 92),
         }
     }
 
@@ -240,6 +244,17 @@ mod tests {
     fn class_c_matches_paper() {
         assert_eq!(Class::C.zones(), 256);
         assert_eq!(Class::D.zones(), 1024);
+        assert_eq!(Class::E.zones(), 4096);
+    }
+
+    #[test]
+    fn class_e_zones_cover_and_stay_imbalanced() {
+        let mz = bt_mz(Class::E);
+        assert_eq!(mz.zones.len(), 4096);
+        let (gx, gy, gz) = Class::E.aggregate();
+        assert_eq!(mz.total_points(), gx * gy * gz);
+        let imb = mz.imbalance();
+        assert!(imb > 8.0 && imb < 40.0, "imbalance {imb} should be ≈ 20");
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! touching that node overlap the task's own interval, and that number
 //! falls out of two binary searches in per-node sorted endpoint arrays,
 //! evaluated only on the nodes the cost model can actually observe for
-//! that task (see [`contention_contexts`]).  Combined with dense
-//! per-core/per-task state this makes a pass near-linear in the schedule
-//! size; the original all-pairs formulation is kept under `#[cfg(test)]`
-//! as a reference oracle and the two are checked bit-identical on
-//! randomized DAGs.
+//! that task (see [`ContentionIndex`]).  The pass *streams*: one scratch
+//! context is charged with an entry's sharing factors, read by the cost
+//! model, and wiped back to uniform on exactly the dirtied nodes — no
+//! per-entry context materialises, so pass 2 allocates O(nodes) once
+//! instead of O(entries × nodes).  Combined with dense per-core/per-task
+//! state this makes a pass near-linear in the schedule size; the original
+//! all-pairs formulation is kept under `#[cfg(test)]` as a reference
+//! oracle and the two are checked bit-identical on randomized DAGs.
 
 use crate::report::{SimReport, TaskTiming};
 use crate::Simulator;
@@ -23,7 +26,6 @@ use pt_core::{Mapping, SymbolicSchedule};
 use pt_cost::CommContext;
 use pt_machine::{ClusterSpec, CoreId};
 use pt_mtask::{TaskGraph, TaskId};
-use std::rc::Rc;
 
 impl Simulator<'_> {
     /// Simulate a flat schedule under a mapping.
@@ -58,7 +60,13 @@ impl Simulator<'_> {
     ) -> SimReport {
         let spec = self.model.spec;
         let uniform = CommContext::uniform(spec);
-        let contexts = tentative.map(|prev| contention_contexts(spec, graph, sched, prev, mapped));
+        let contention =
+            tentative.map(|prev| ContentionIndex::build(spec, graph, sched, prev, mapped));
+        // The one scratch context the streaming pass charges and wipes per
+        // entry, plus the dirty-node list that makes the wipe exact.
+        let mut scratch_ctx = CommContext::uniform(spec);
+        let mut dirty: Vec<u32> = Vec::new();
+        let mut fallback_ctx: CommContext;
 
         // Dense state: core_free by physical core id, finish by task id
         // (NaN = not finished), entry_of by task id (u32::MAX = not
@@ -72,9 +80,20 @@ impl Simulator<'_> {
 
         for (i, entry) in sched.entries.iter().enumerate() {
             let cores = &mapped[i];
-            let ctx: &CommContext = match &contexts {
-                None => &uniform,
-                Some(ctxs) => &ctxs[i],
+            let ctx: &CommContext = match (&contention, tentative) {
+                (Some(cidx), Some(prev)) => {
+                    let t = &prev.tasks[i];
+                    if t.start < t.finish {
+                        cidx.charge(graph, sched, prev, i, &mut scratch_ctx, &mut dirty);
+                        &scratch_ctx
+                    } else {
+                        // Zero-length interval: counting would cancel the
+                        // entry out of its own context — exact direct scan.
+                        fallback_ctx = overlap_scan_context(spec, prev, mapped, i);
+                        &fallback_ctx
+                    }
+                }
+                _ => &uniform,
             };
             // Producers must have finished; the incoming re-distributions
             // then serialise at the consumer (its cores receive one foreign
@@ -96,6 +115,11 @@ impl Simulator<'_> {
             let start = data_ready.max(cores_ready);
             let task = graph.task(entry.task);
             let dur = self.model.task_time(ctx, task, cores);
+            // Pricing is done; wipe exactly the dirtied nodes so the scratch
+            // is uniform again for the next entry.
+            for n in dirty.drain(..) {
+                scratch_ctx.sharers[n as usize] = 1.0;
+            }
             let useful = match task.max_cores {
                 Some(cap) => cores.len().min(cap),
                 None => cores.len(),
@@ -119,8 +143,9 @@ impl Simulator<'_> {
     }
 }
 
-/// Pass-2 contention context of every entry, from the tentative pass-1
-/// intervals.
+/// The pass-2 contention index: everything needed to charge any entry's
+/// sharing factors into a scratch context, built once from the tentative
+/// pass-1 intervals.
 ///
 /// The reference formulation lists, for entry `i`, the core sets of
 /// `{i} ∪ {j ≠ i : s_j < f_i ∧ s_i < f_j}` and counts per node how many
@@ -143,77 +168,98 @@ impl Simulator<'_> {
 /// every other node keeps the uniform sharing factor `1.0`, which is never
 /// observed.  That turns the per-entry cost from O(nodes · log n) into
 /// O(read-set · log n), and the simulated times stay bit-identical to the
-/// reference's full contexts.
+/// reference's full contexts.  [`charge`](Self::charge) writes those
+/// factors straight into the caller's scratch context and records the
+/// dirtied nodes, so the whole pass reuses a single O(nodes) buffer
+/// instead of materialising one context per entry.
 ///
 /// Zero-length intervals (`s_i == f_i`) break the cancellation: the entry
 /// would subtract itself out of its own context.  Those entries fall back
-/// to the reference-style direct scan, which stays exact and is rare
-/// (zero-work, zero-comm tasks only).
-fn contention_contexts(
-    spec: &ClusterSpec,
-    graph: &TaskGraph,
-    sched: &SymbolicSchedule,
-    prev: &SimReport,
-    mapped: &[Vec<CoreId>],
-) -> Vec<Rc<CommContext>> {
-    debug_assert_eq!(prev.tasks.len(), mapped.len());
-    // Nodes each entry's cores touch, deduplicated.
-    let touched: Vec<Vec<u32>> = mapped
-        .iter()
-        .map(|cores| {
-            let mut nodes: Vec<u32> = cores.iter().map(|&c| spec.label(c).node as u32).collect();
-            nodes.sort_unstable();
-            nodes.dedup();
-            nodes
-        })
-        .collect();
-    // Sorted tentative interval endpoints per node.
-    let mut starts: Vec<Vec<f64>> = vec![Vec::new(); spec.nodes];
-    let mut finishes: Vec<Vec<f64>> = vec![Vec::new(); spec.nodes];
-    for (t, nodes) in prev.tasks.iter().zip(&touched) {
-        for &n in nodes {
-            starts[n as usize].push(t.start);
-            finishes[n as usize].push(t.finish);
+/// to the reference-style direct scan ([`overlap_scan_context`]), which
+/// stays exact and is rare (zero-work, zero-comm tasks only).
+struct ContentionIndex {
+    /// Nodes each entry's cores touch, deduplicated and sorted.
+    touched: Vec<Vec<u32>>,
+    /// Sorted tentative interval endpoints per node.
+    starts: Vec<Vec<f64>>,
+    finishes: Vec<Vec<f64>>,
+    /// Entry index of every scheduled task (`u32::MAX`: unscheduled).
+    entry_of: Vec<u32>,
+}
+
+impl ContentionIndex {
+    fn build(
+        spec: &ClusterSpec,
+        graph: &TaskGraph,
+        sched: &SymbolicSchedule,
+        prev: &SimReport,
+        mapped: &[Vec<CoreId>],
+    ) -> ContentionIndex {
+        debug_assert_eq!(prev.tasks.len(), mapped.len());
+        let touched: Vec<Vec<u32>> = mapped
+            .iter()
+            .map(|cores| {
+                let mut nodes: Vec<u32> =
+                    cores.iter().map(|&c| spec.label(c).node as u32).collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes
+            })
+            .collect();
+        let mut starts: Vec<Vec<f64>> = vec![Vec::new(); spec.nodes];
+        let mut finishes: Vec<Vec<f64>> = vec![Vec::new(); spec.nodes];
+        for (t, nodes) in prev.tasks.iter().zip(&touched) {
+            for &n in nodes {
+                starts[n as usize].push(t.start);
+                finishes[n as usize].push(t.finish);
+            }
+        }
+        for v in starts.iter_mut().chain(finishes.iter_mut()) {
+            v.sort_unstable_by(f64::total_cmp);
+        }
+        let mut entry_of = vec![u32::MAX; graph.len()];
+        for (i, entry) in sched.entries.iter().enumerate() {
+            entry_of[entry.task.0] = i as u32;
+        }
+        ContentionIndex {
+            touched,
+            starts,
+            finishes,
+            entry_of,
         }
     }
-    for v in starts.iter_mut().chain(finishes.iter_mut()) {
-        v.sort_unstable_by(f64::total_cmp);
-    }
-    // Entry index of every scheduled task, for the predecessor read sets.
-    let mut entry_of = vec![u32::MAX; graph.len()];
-    for (i, entry) in sched.entries.iter().enumerate() {
-        entry_of[entry.task.0] = i as u32;
-    }
 
-    let mut read_set: Vec<u32> = Vec::new();
-    prev.tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            if t.start < t.finish {
-                read_set.clear();
-                read_set.extend_from_slice(&touched[i]);
-                for &pr in graph.preds(sched.entries[i].task) {
-                    let src = entry_of[pr.0];
-                    if src != u32::MAX {
-                        read_set.extend_from_slice(&touched[src as usize]);
-                    }
-                }
-                read_set.sort_unstable();
-                read_set.dedup();
-                let mut sharers = vec![1.0f64; spec.nodes];
-                for &n in &read_set {
-                    let n = n as usize;
-                    let begun = starts[n].partition_point(|&s| s < t.finish);
-                    let done = finishes[n].partition_point(|&f| f <= t.start);
-                    sharers[n] = (begun - done).max(1) as f64;
-                }
-                Rc::new(CommContext { sharers })
-            } else {
-                Rc::new(overlap_scan_context(spec, prev, mapped, i))
+    /// Write entry `i`'s sharing factors into `ctx` (which must be uniform)
+    /// and append the written node ids to `dirty` so the caller can wipe
+    /// them back after pricing.  Only valid for `s_i < f_i` entries.
+    fn charge(
+        &self,
+        graph: &TaskGraph,
+        sched: &SymbolicSchedule,
+        prev: &SimReport,
+        i: usize,
+        ctx: &mut CommContext,
+        dirty: &mut Vec<u32>,
+    ) {
+        let t = &prev.tasks[i];
+        debug_assert!(t.start < t.finish);
+        debug_assert!(dirty.is_empty());
+        dirty.extend_from_slice(&self.touched[i]);
+        for &pr in graph.preds(sched.entries[i].task) {
+            let src = self.entry_of[pr.0];
+            if src != u32::MAX {
+                dirty.extend_from_slice(&self.touched[src as usize]);
             }
-        })
-        .collect()
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &n in dirty.iter() {
+            let n = n as usize;
+            let begun = self.starts[n].partition_point(|&s| s < t.finish);
+            let done = self.finishes[n].partition_point(|&f| f <= t.start);
+            ctx.sharers[n] = (begun - done).max(1) as f64;
+        }
+    }
 }
 
 /// Reference-style O(n) context for one entry: list the overlapping core

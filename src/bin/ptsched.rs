@@ -225,9 +225,28 @@ fn main() {
         let sim = Simulator::new(&model);
         let chosen = mapping(&o.mapping)?;
         println!("\nsimulated time per step by mapping:");
-        for s in MappingStrategy::all_for(&spec) {
-            let m = s.mapping(&spec, o.cores);
-            let rep = sim.simulate_layered(&graph, &schedule, &m);
+        // Each candidate mapping simulates independently; fan the sweep out
+        // one thread per strategy and print in the original (deterministic)
+        // order afterwards.
+        let strategies = MappingStrategy::all_for(&spec);
+        let cores = o.cores;
+        let reports: Vec<_> = std::thread::scope(|sc| {
+            let handles: Vec<_> = strategies
+                .iter()
+                .map(|&s| {
+                    let (sim, graph, schedule, spec) = (&sim, &graph, &schedule, &spec);
+                    sc.spawn(move || {
+                        let m = s.mapping(spec, cores);
+                        sim.simulate_layered(graph, schedule, &m)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mapping sweep worker panicked"))
+                .collect()
+        });
+        for (&s, rep) in strategies.iter().zip(&reports) {
             let marker = if s == chosen { " <-- selected" } else { "" };
             println!(
                 "  {:<12} {:>10.3} ms{}",
