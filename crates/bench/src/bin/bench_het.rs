@@ -1,0 +1,152 @@
+//! Heterogeneity-aware scheduling benchmark gate.
+//!
+//! Runs the evaluation workloads on a *two-class* JUROPA variant — 25 % of
+//! the nodes (the trailing quarter) clocked at 0.5× nominal speed — and
+//! compares three schedulers on the same machine:
+//!
+//! * `het` — the layer scheduler with its heterogeneity-aware path
+//!   (speed-equal group partition, slowest-class symbolic costs, adjusted
+//!   LPT), which switches on automatically for a non-uniform machine.
+//! * `blind` — the same scheduler forced onto the homogeneous path
+//!   (`with_het_aware(false)`): the schedule a speed-oblivious Algorithm 1
+//!   would produce, simulated on the real (het) machine.
+//! * `AMTHA` — the node-granular heterogeneous list-mapping baseline.
+//!
+//! All three are simulated with the consecutive mapping and the simulated
+//! makespan is deterministic, so the gate needs no retry loop: at every
+//! (workload, P) point the het-aware schedule must be *strictly* faster
+//! than the blind one.  AMTHA is reported alongside, not gated — it trades
+//! malleability for node granularity and is not expected to win.
+//!
+//! Results land in `BENCH_het.json` at the repository root.  `--quick`
+//! skips nothing (the grid is small); it is accepted for CI symmetry with
+//! the other gates and recorded in the JSON.
+
+use pt_cost::CostModel;
+use pt_machine::{platforms, ClusterSpec};
+use pt_mtask::TaskGraph;
+use pt_sim::Simulator;
+use serde::Serialize;
+
+const CORE_COUNTS: [usize; 2] = [256, 1024];
+const SLOW_FRACTION: f64 = 0.25;
+const SLOW_FACTOR: f64 = 0.5;
+
+#[derive(Serialize)]
+struct Entry {
+    graph: &'static str,
+    tasks: usize,
+    cores: usize,
+    slow_nodes: usize,
+    slow_factor: f64,
+    /// Simulated seconds per time step, heterogeneity-aware scheduler.
+    het_s: f64,
+    /// Same machine, scheduler forced onto the homogeneous path.
+    blind_s: f64,
+    /// AMTHA node-granular baseline (reported, not gated).
+    amtha_s: f64,
+    /// `blind_s / het_s` — the gate requires > 1.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    machine: &'static str,
+    quick: bool,
+    results: Vec<Entry>,
+}
+
+/// Two-class JUROPA with exactly `p` cores: the trailing quarter of the
+/// nodes runs at [`SLOW_FACTOR`]× nominal speed.
+fn juropa_het(p: usize) -> ClusterSpec {
+    let cpn = 8;
+    assert!(p.is_multiple_of(cpn));
+    let nodes = p / cpn;
+    let slow = ((nodes as f64) * SLOW_FRACTION).round() as usize;
+    platforms::juropa()
+        .with_nodes(nodes)
+        .with_slow_nodes(slow, SLOW_FACTOR)
+}
+
+/// `(het, blind, amtha)` simulated seconds per step of `graph` on `spec`.
+fn run(graph: &TaskGraph, spec: &ClusterSpec, steps: usize) -> (f64, f64, f64) {
+    let model = CostModel::new(spec);
+    let sim = Simulator::new(&model);
+    let map = pt_core::MappingStrategy::Consecutive.mapping(spec, spec.total_cores());
+
+    let het = pt_core::LayerScheduler::new(&model).schedule(graph);
+    assert!(het.validate().is_ok(), "invalid het schedule");
+    let blind = pt_core::LayerScheduler::new(&model)
+        .with_het_aware(false)
+        .schedule(graph);
+    assert!(blind.validate().is_ok(), "invalid blind schedule");
+    let amtha = pt_core::Amtha::new(&model).schedule(graph);
+    assert!(amtha.validate().is_ok(), "invalid AMTHA schedule");
+
+    let s = steps as f64;
+    (
+        sim.simulate_layered(graph, &het, &map).makespan / s,
+        sim.simulate_layered(graph, &blind, &map).makespan / s,
+        sim.simulate_layered(graph, &amtha, &map).makespan / s,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let epol = pt_ode::Epol::new(8).step_graph(&pt_ode::Bruss2d::new(500), 2);
+    let bt = pt_nas::bt_mz(pt_nas::Class::C).step_graph(2);
+
+    let mut results = Vec::new();
+    for (name, graph) in [("epol_r8", &epol), ("bt_mz_c", &bt)] {
+        for p in CORE_COUNTS {
+            let spec = juropa_het(p);
+            let slow_nodes = ((spec.nodes as f64) * SLOW_FRACTION).round() as usize;
+            let (het_s, blind_s, amtha_s) = run(graph, &spec, 2);
+            let speedup = blind_s / het_s;
+            println!(
+                "{name} P={p} ({slow_nodes} slow nodes @ {SLOW_FACTOR}x): \
+                 het {het_s:.4} s, blind {blind_s:.4} s ({speedup:.3}x), \
+                 AMTHA {amtha_s:.4} s"
+            );
+            results.push(Entry {
+                graph: name,
+                tasks: graph.len(),
+                cores: p,
+                slow_nodes,
+                slow_factor: SLOW_FACTOR,
+                het_s,
+                blind_s,
+                amtha_s,
+                speedup,
+            });
+        }
+    }
+
+    // Gate: heterogeneity-awareness must strictly pay off at every point.
+    // The makespans are simulated (deterministic), so a tie or a loss is a
+    // real scheduling regression, not noise.
+    for e in &results {
+        assert!(
+            e.het_s < e.blind_s,
+            "het-aware scheduling lost to the blind path: {} P={} het {:.6} s \
+             vs blind {:.6} s",
+            e.graph,
+            e.cores,
+            e.het_s,
+            e.blind_s
+        );
+    }
+
+    let report = Report {
+        benchmark: "het-aware vs speed-blind layer scheduling (simulated makespan)",
+        machine: "juropa, trailing 25% of nodes at 0.5x",
+        quick,
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_het.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, json + "\n").expect("write BENCH_het.json");
+    println!("wrote {path}");
+}

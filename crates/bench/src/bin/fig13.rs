@@ -7,10 +7,12 @@
 //!   system) for the same schedulers.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig13 [-- --quick]
+//! cargo run -p pt-bench --release --bin fig13 [-- --quick] [-- --trace PATH]
 //! ```
 //!
-//! `--quick` reduces the core grid for CI smoke runs.
+//! `--quick` reduces the core grid for CI smoke runs.  `--trace PATH`
+//! additionally writes a Chrome-trace JSON of the layer-scheduled EPOL run
+//! at the largest core count (scheduler phases + simulated timeline).
 
 use pt_bench::pipeline::{sequential_step, time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -74,4 +76,11 @@ fn main() {
             .collect::<Vec<_>>(),
         &rows,
     );
+
+    if let Some(path) = pt_bench::arg_value("--trace") {
+        let p = *cores.last().expect("core grid is never empty");
+        pt_bench::pipeline::write_trace(&graph, &chic, p, mapping, &path)
+            .expect("write --trace output");
+        println!("\nwrote chrome trace of EPOL R=8 at {p} cores to {path}");
+    }
 }

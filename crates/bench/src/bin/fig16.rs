@@ -7,10 +7,13 @@
 //! * Bottom right: PABM runtimes on the sparse system on JuRoPA.
 //!
 //! ```text
-//! cargo run -p pt-bench --release --bin fig16 [-- --quick]
+//! cargo run -p pt-bench --release --bin fig16 [-- --quick] [-- --trace PATH]
 //! ```
 //!
-//! `--quick` reduces the core grid for CI smoke runs.
+//! `--quick` reduces the core grid for CI smoke runs.  `--trace PATH`
+//! additionally writes a Chrome-trace JSON of the layer-scheduled PABM run
+//! on JuRoPA at the largest core count (scheduler phases + simulated
+//! timeline under the consecutive mapping).
 
 use pt_bench::pipeline::{sequential_step, time_per_step, Scheduler};
 use pt_bench::{cases, table};
@@ -105,4 +108,11 @@ fn main() {
         &headers,
         &mapping_rows(&graph, &juropa, cores, 2, |t, _| 1e3 * t),
     );
+
+    if let Some(path) = pt_bench::arg_value("--trace") {
+        let p = *cores.last().expect("core grid is never empty");
+        pt_bench::pipeline::write_trace(&graph, &juropa, p, MappingStrategy::Consecutive, &path)
+            .expect("write --trace output");
+        println!("\nwrote chrome trace of PABM K=8 at {p} JuRoPA cores to {path}");
+    }
 }

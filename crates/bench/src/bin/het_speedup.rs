@@ -1,0 +1,102 @@
+//! Heterogeneity figure — what speed-awareness buys on a degraded machine.
+//!
+//! For each workload and core count, a two-class JUROPA variant clocks the
+//! trailing 25 % of the nodes down to a sweep of slow factors (1.0 = the
+//! homogeneous machine).  Three schedulers run on every point:
+//!
+//! * `het`   — the layer scheduler's heterogeneity-aware path (auto-on),
+//! * `blind` — the same scheduler forced homogeneous
+//!   (`with_het_aware(false)`), simulated on the degraded machine,
+//! * `AMTHA` — the node-granular heterogeneous list-mapping baseline.
+//!
+//! Printed per workload: simulated milliseconds per time step for each
+//! scheduler, plus the `blind / het` speedup row — the figure's headline.
+//! At factor 1.0 the het path is inactive, so `het` and `blind` coincide
+//! by construction (speedup exactly 1).
+//!
+//! ```text
+//! cargo run -p pt-bench --release --bin het_speedup [-- --quick]
+//! ```
+//!
+//! `--quick` drops to one core count and two slow factors for CI smoke
+//! runs.
+
+use pt_bench::table;
+use pt_cost::CostModel;
+use pt_machine::{platforms, ClusterSpec};
+use pt_mtask::TaskGraph;
+use pt_sim::Simulator;
+
+const SLOW_FRACTION: f64 = 0.25;
+
+/// Two-class JUROPA with `p` cores, trailing quarter at `factor`× speed.
+fn juropa_het(p: usize, factor: f64) -> ClusterSpec {
+    let nodes = p / 8;
+    let slow = ((nodes as f64) * SLOW_FRACTION).round() as usize;
+    platforms::juropa()
+        .with_nodes(nodes)
+        .with_slow_nodes(slow, factor)
+}
+
+/// `(het, blind, amtha)` simulated ms per step on the degraded machine.
+fn run(graph: &TaskGraph, spec: &ClusterSpec, steps: usize) -> (f64, f64, f64) {
+    let model = CostModel::new(spec);
+    let sim = Simulator::new(&model);
+    let map = pt_core::MappingStrategy::Consecutive.mapping(spec, spec.total_cores());
+    let het = pt_core::LayerScheduler::new(&model).schedule(graph);
+    let blind = pt_core::LayerScheduler::new(&model)
+        .with_het_aware(false)
+        .schedule(graph);
+    let amtha = pt_core::Amtha::new(&model).schedule(graph);
+    let scale = 1e3 / steps as f64;
+    (
+        sim.simulate_layered(graph, &het, &map).makespan * scale,
+        sim.simulate_layered(graph, &blind, &map).makespan * scale,
+        sim.simulate_layered(graph, &amtha, &map).makespan * scale,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let factors: &[f64] = if quick {
+        &[0.5, 1.0]
+    } else {
+        &[0.25, 0.5, 0.75, 1.0]
+    };
+    let core_counts: &[usize] = if quick { &[256] } else { &[256, 1024] };
+
+    let epol = pt_ode::Epol::new(8).step_graph(&pt_ode::Bruss2d::new(500), 2);
+    let bt = pt_nas::bt_mz(pt_nas::Class::C).step_graph(2);
+
+    let columns: Vec<String> = factors.iter().map(|f| format!("slow={f}")).collect();
+    for (name, graph) in [("epol_r8", &epol), ("bt_mz_c", &bt)] {
+        for &p in core_counts {
+            let mut het_row = Vec::new();
+            let mut blind_row = Vec::new();
+            let mut amtha_row = Vec::new();
+            let mut speedup_row = Vec::new();
+            for &f in factors {
+                let spec = juropa_het(p, f);
+                let (h, b, a) = run(graph, &spec, 2);
+                het_row.push(h);
+                blind_row.push(b);
+                amtha_row.push(a);
+                speedup_row.push(b / h);
+            }
+            let rows = vec![
+                ("het [ms/step]".to_string(), het_row),
+                ("blind [ms/step]".to_string(), blind_row),
+                ("AMTHA [ms/step]".to_string(), amtha_row),
+                ("blind / het".to_string(), speedup_row),
+            ];
+            table::print(
+                &format!(
+                    "het_speedup: {name} on {p} JUROPA cores, trailing 25% of \
+                     nodes at the column's speed factor"
+                ),
+                &columns,
+                &rows,
+            );
+        }
+    }
+}

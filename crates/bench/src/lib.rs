@@ -8,7 +8,7 @@
 
 pub mod pipeline {
     use pt_core::hybrid::HybridConfig;
-    use pt_core::{Cpa, Cpr, DataParallel, LayerScheduler, MappingStrategy};
+    use pt_core::{Amtha, Cpa, Cpr, DataParallel, LayerScheduler, MappingStrategy};
     use pt_cost::CostModel;
     use pt_machine::ClusterSpec;
     use pt_mtask::TaskGraph;
@@ -27,6 +27,8 @@ pub mod pipeline {
         Cpa,
         /// CPR baseline.
         Cpr,
+        /// AMTHA heterogeneous baseline (node-granular list mapping).
+        Amtha,
     }
 
     impl Scheduler {
@@ -38,6 +40,7 @@ pub mod pipeline {
                 Scheduler::DataParallel => "dp".into(),
                 Scheduler::Cpa => "CPA".into(),
                 Scheduler::Cpr => "CPR".into(),
+                Scheduler::Amtha => "AMTHA".into(),
             }
         }
     }
@@ -84,6 +87,10 @@ pub mod pipeline {
                 let s = Cpr::new(&model).schedule(graph);
                 sim.simulate_flat(graph, &s, &map).makespan
             }
+            Scheduler::Amtha => {
+                let s = Amtha::new(&model).schedule(graph);
+                sim.simulate_layered(graph, &s, &map).makespan
+            }
         };
         makespan / steps as f64
     }
@@ -93,6 +100,47 @@ pub mod pipeline {
     pub fn sequential_step(graph: &TaskGraph, machine: &ClusterSpec, steps: usize) -> f64 {
         machine.compute_time(graph.total_work()) / steps as f64
     }
+
+    /// Write a Chrome-trace JSON of one layer-scheduled pipeline
+    /// configuration to `path`: the scheduler's phase spans (g-sweep, LPT)
+    /// plus the simulated node×core timeline under `mapping` — the
+    /// drill-down companion to the aggregate tables the figure binaries
+    /// print.  Open the file at <https://ui.perfetto.dev>.
+    pub fn write_trace(
+        graph: &TaskGraph,
+        machine: &ClusterSpec,
+        cores: usize,
+        mapping: MappingStrategy,
+        path: &str,
+    ) -> Result<(), String> {
+        let spec = machine.with_cores(cores);
+        let model = CostModel::new(&spec);
+        let recorder = std::sync::Arc::new(pt_obs::TraceRecorder::new(1));
+        let scheduler = LayerScheduler::new(&model).with_recorder(recorder.clone());
+        let sched = scheduler.schedule(graph);
+        drop(scheduler); // releases its recorder handle
+        let map = mapping.mapping(&spec, cores);
+        let report = Simulator::new(&model).simulate_layered(graph, &sched, &map);
+        let mut trace = pt_sim::chrome_trace(graph, &sched, &report, &map, &spec);
+        trace.name_process(pt_core::two_level::SCHED_PID, "scheduler");
+        trace.name_thread(pt_core::two_level::SCHED_PID, 0, "phases");
+        let mut recorder =
+            std::sync::Arc::try_unwrap(recorder).expect("scheduler released its recorder handle");
+        trace.extend(recorder.drain());
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// The value following `name` on the command line (`--trace PATH` style),
+/// if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
 }
 
 pub mod zero_cost {

@@ -230,6 +230,13 @@ pub struct LayerScheduler<'a> {
     /// default — keeps the hot path free of instrumentation beyond one
     /// branch).
     pub recorder: Option<std::sync::Arc<pt_obs::TraceRecorder>>,
+    /// Heterogeneity-aware layer scheduling: group sizing by aggregate core
+    /// speed and LPT keyed on class-adjusted finish times.  `None` (the
+    /// default) activates it exactly when the machine is non-uniform, so
+    /// homogeneous machines keep the historic path bit for bit; `Some`
+    /// forces it on or off (off reproduces the heterogeneity-*blind*
+    /// baseline of the `bench_het` gate on a het machine).
+    pub het_aware: Option<bool>,
 }
 
 impl<'a> LayerScheduler<'a> {
@@ -242,6 +249,7 @@ impl<'a> LayerScheduler<'a> {
             contract_chains: true,
             sweep_workers: None,
             recorder: None,
+            het_aware: None,
         }
     }
 
@@ -273,6 +281,21 @@ impl<'a> LayerScheduler<'a> {
         assert!(workers >= 1, "need at least one sweep worker");
         self.sweep_workers = Some(workers);
         self
+    }
+
+    /// Force the heterogeneity-aware layer path on (`true`) or off
+    /// (`false`), overriding the default of "on iff the machine is
+    /// non-uniform".  Forcing it *off* on a heterogeneous machine yields
+    /// the blind schedule a pre-heterogeneity scheduler would build —
+    /// group sizes by core count, LPT by nominal-speed times.
+    pub fn with_het_aware(mut self, on: bool) -> Self {
+        self.het_aware = Some(on);
+        self
+    }
+
+    /// Whether this scheduler uses the heterogeneity-aware layer path.
+    fn het_active(&self) -> bool {
+        self.het_aware.unwrap_or(!self.model.is_uniform())
     }
 
     /// Disable the group-adjustment step.
@@ -342,6 +365,9 @@ impl<'a> LayerScheduler<'a> {
         scratch: &mut LptScratch,
     ) -> (Vec<usize>, Vec<Vec<TaskId>>) {
         assert!(!tasks.is_empty(), "cannot schedule an empty layer");
+        if self.het_active() {
+            return self.schedule_layer_het(table, tasks, total);
+        }
         let max_g = tasks.len().min(total);
         scratch.reset();
         // Inner LPT parallelism for this (top-level) scratch.  Sweep worker
@@ -401,6 +427,82 @@ impl<'a> LayerScheduler<'a> {
             adjust_group_sizes(&work, total)
         } else {
             equal_partition(total, best_g)
+        };
+        let assignment = assignment
+            .into_iter()
+            .map(|group| group.into_iter().map(|i| tasks[i].0).collect())
+            .collect();
+        (sizes, assignment)
+    }
+
+    /// Heterogeneity-aware layer scheduling: candidate partitions split the
+    /// symbolic cores into `g` subsets of near-equal *aggregate speed*
+    /// (slow subsets get more cores), each subset is priced at the speed
+    /// class of its slowest core, and the greedy rule assigns each task to
+    /// the subset with the earliest class-adjusted finish time.  The final
+    /// adjustment resizes subsets so their aggregate-speed shares track
+    /// their assigned work.
+    ///
+    /// Symbolic core `i` is assumed to land on physical core `i` — exact
+    /// under the default consecutive mapping, heuristic under scattered and
+    /// mixed mappings (the symbolic cost stays an upper bound either way:
+    /// a subset never prices *faster* than its slowest member).
+    ///
+    /// When the symbolic range spans at least two whole nodes, only
+    /// node-aligned candidates are swept (`g ≤ ⌈total / cores-per-node⌉`,
+    /// cuts snapped by [`speed_partition`]).  Unaligned subsets pay
+    /// inter-node links for their internal collectives, which the
+    /// width-keyed symbolic table cannot see — comparing their
+    /// (optimistic) predictions against aligned candidates' honest ones
+    /// systematically mispicks, so the sweep stays inside the candidate
+    /// family it can rank faithfully.  Sub-node ranges (a narrow
+    /// lower-level group) keep the full unaligned sweep.
+    fn schedule_layer_het(
+        &self,
+        table: &CostTable<'_>,
+        tasks: &[(TaskId, &MTask)],
+        total: usize,
+    ) -> (Vec<usize>, Vec<Vec<TaskId>>) {
+        let cpn = self.model.spec.cores_per_node();
+        let max_g = if total / cpn >= 2 {
+            tasks.len().min(total.div_ceil(cpn))
+        } else {
+            tasks.len().min(total)
+        };
+        let cum = speed_prefix(self.model, total);
+        let best_g = match self.fixed_groups {
+            Some(g) => g.clamp(1, max_g),
+            None => {
+                let mut best = (f64::INFINITY, 1usize);
+                for g in 1..=max_g {
+                    let groups = HetGroups::equal_speed(self.model, &cum, g);
+                    let mk = het_assign(table, tasks, &groups, None);
+                    if mk < best.0 {
+                        best = (mk, g);
+                    }
+                }
+                best.1
+            }
+        };
+        let groups = HetGroups::equal_speed(self.model, &cum, best_g);
+        let mut assignment: Vec<Vec<usize>> = Vec::new();
+        het_assign(table, tasks, &groups, Some(&mut assignment));
+        // Group adjustment, speed-aware: shares of *aggregate speed* (not
+        // core count) proportional to assigned work, so a slow group with
+        // the same work ends up with more cores.
+        let sizes = if self.adjust && best_g > 1 {
+            let work: Vec<f64> = assignment
+                .iter()
+                .map(|group| {
+                    group
+                        .iter()
+                        .map(|&i| self.model.spec.compute_time(tasks[i].1.work))
+                        .sum::<f64>()
+                })
+                .collect();
+            speed_partition(&cum, &work, self.model.spec.cores_per_node())
+        } else {
+            groups.sizes
         };
         let assignment = assignment
             .into_iter()
@@ -476,6 +578,157 @@ fn default_workers() -> usize {
             .map(std::num::NonZero::get)
             .unwrap_or(1)
     })
+}
+
+/// Per-core speed prefix sums over the symbolic range: `cum[i]` is the
+/// aggregate speed of symbolic cores `0..i`.  Symbolic cores beyond the
+/// machine (a widened lower-level range can ask for them) count as nominal
+/// speed.
+fn speed_prefix(model: &CostModel<'_>, total: usize) -> Vec<f64> {
+    let classes = model.classes();
+    let physical = model.spec.total_cores();
+    let mut cum = Vec::with_capacity(total + 1);
+    cum.push(0.0);
+    for c in 0..total {
+        let s = if c < physical {
+            classes.speed(classes.class_of(pt_machine::CoreId(c)))
+        } else {
+            1.0
+        };
+        cum.push(cum[c] + s);
+    }
+    cum
+}
+
+/// Partition the symbolic cores into `weights.len()` consecutive groups
+/// whose aggregate speeds track the weights: group `l`'s boundary is the
+/// first core index whose cumulative speed reaches the cumulative weight
+/// share.  Every group keeps at least one core.  On a uniform machine with
+/// equal weights and `grid = 1` this is as balanced as [`equal_partition`]
+/// (sizes differ by at most one), though the one-larger groups may sit at
+/// different indices — the homogeneous path never routes through here, so
+/// the two partitions need not coincide bit for bit.
+///
+/// `grid > 1` snaps each cut to the nearest multiple of `grid` (the node
+/// width) that keeps every group non-empty.  Groups that straddle node
+/// boundaries pay inter-node links for their *internal* collectives, and on
+/// real graphs that comm penalty outweighs a slightly better speed split —
+/// a cut is only left off-grid when no admissible boundary exists.  With
+/// more groups than nodes no partition can be node-aligned anyway — whole
+/// early groups would crush the trailing ones against the one-core floor —
+/// so snapping turns off entirely and the pure speed split applies.
+fn speed_partition(cum: &[f64], weights: &[f64], grid: usize) -> Vec<usize> {
+    let total = cum.len() - 1;
+    let g = weights.len();
+    assert!(g >= 1 && g <= total, "need 1 ≤ g ≤ total");
+    assert!(grid >= 1, "grid is a node width");
+    let grid = if g <= total / grid { grid } else { 1 };
+    let wsum: f64 = weights.iter().filter(|w| w.is_finite()).sum();
+    let equal = 1.0 / g as f64;
+    let total_speed = cum[total];
+    let mut sizes = Vec::with_capacity(g);
+    let mut start = 0usize;
+    let mut share = 0.0f64;
+    for (l, &w) in weights.iter().enumerate().take(g - 1) {
+        share += if wsum > 0.0 { w / wsum } else { equal };
+        // A hair of relative tolerance so accumulated-share rounding (e.g.
+        // 0.2 × 3 = 0.6000…01) cannot push a cut point one core past an
+        // exact boundary.
+        let target = total_speed * share * (1.0 - 1e-12);
+        // Leave at least one core per remaining group.
+        let cap = total - (g - l - 1);
+        let mut end = (start + 1).min(cap);
+        while end < cap && cum[end] < target {
+            end += 1;
+        }
+        if grid > 1 {
+            // Snap to the neighbouring node boundary whose aggregate speed
+            // is closest to the target, if one is admissible.
+            let mut snapped: Option<(f64, usize)> = None;
+            for c in [end / grid * grid, end / grid * grid + grid] {
+                if c > start && c <= cap {
+                    let d = (cum[c] - target).abs();
+                    if snapped.is_none_or(|(bd, _)| d < bd) {
+                        snapped = Some((d, c));
+                    }
+                }
+            }
+            if let Some((_, c)) = snapped {
+                end = c;
+            }
+        }
+        sizes.push(end - start);
+        start = end;
+    }
+    sizes.push(total - start);
+    sizes
+}
+
+/// One candidate het partition: group sizes plus the speed class each group
+/// is priced at (its slowest member's class).
+struct HetGroups {
+    sizes: Vec<usize>,
+    class: Vec<usize>,
+}
+
+impl HetGroups {
+    /// `g` consecutive groups of near-equal aggregate speed.
+    fn equal_speed(model: &CostModel<'_>, cum: &[f64], g: usize) -> Self {
+        let sizes = speed_partition(cum, &vec![1.0; g], model.spec.cores_per_node());
+        let classes = model.classes();
+        let physical = model.spec.total_cores();
+        let mut class = Vec::with_capacity(g);
+        let mut lo = 0usize;
+        for &s in &sizes {
+            let hi = lo + s;
+            class.push(classes.slowest_in_range(lo.min(physical), hi.min(physical)));
+            lo = hi;
+        }
+        HetGroups { sizes, class }
+    }
+}
+
+/// The heterogeneity-aware greedy rule: tasks in decreasing class-0 time,
+/// each to the group with the earliest class-adjusted finish time
+/// `acc[l] + Tsymb(task, size_l, class_l)` (smallest index on ties).
+/// Returns the layer makespan; `assignment` (when given) receives per-group
+/// task indices into `tasks`.
+fn het_assign(
+    table: &CostTable<'_>,
+    tasks: &[(TaskId, &MTask)],
+    groups: &HetGroups,
+    mut assignment: Option<&mut Vec<Vec<usize>>>,
+) -> f64 {
+    let g = groups.sizes.len();
+    let mut order: Vec<(TotalF64, u32)> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, (id, m))| (TotalF64(table.symbolic(*id, m, groups.sizes[0])), i as u32))
+        .collect();
+    order.sort_unstable_by(lpt_cmp);
+    if let Some(asg) = assignment.as_deref_mut() {
+        asg.clear();
+        asg.resize_with(g, Vec::new);
+    }
+    let mut acc = vec![0.0f64; g];
+    for &(_, idx) in &order {
+        let idx = idx as usize;
+        let (id, m) = tasks[idx];
+        let mut best_l = 0usize;
+        let mut best_finish = f64::INFINITY;
+        for (l, &busy) in acc.iter().enumerate().take(g) {
+            let finish = busy + table.symbolic_class(id, m, groups.sizes[l], groups.class[l]);
+            if finish < best_finish {
+                best_finish = finish;
+                best_l = l;
+            }
+        }
+        acc[best_l] = best_finish;
+        if let Some(asg) = assignment.as_deref_mut() {
+            asg[best_l].push(idx);
+        }
+    }
+    acc.iter().copied().fold(0.0, f64::max)
 }
 
 /// Evaluate the LPT makespan of each candidate group count in `candidates`,
@@ -955,6 +1208,125 @@ mod tests {
         let sched = LayerScheduler::new(&model).schedule(&g);
         assert_eq!(sched.layers.len(), 1);
         assert_eq!(sched.layers[0].group_sizes, vec![16]);
+    }
+
+    #[test]
+    fn speed_partition_is_balanced_on_uniform_machines() {
+        // Unit-speed prefix sums with equal weights: sizes sum to the
+        // total and are balanced to within one core, like
+        // `equal_partition` (the one-larger groups may differ in index).
+        for total in [1usize, 7, 10, 16, 100] {
+            let cum: Vec<f64> = (0..=total).map(|i| i as f64).collect();
+            for g in 1..=total.min(12) {
+                let sizes = speed_partition(&cum, &vec![1.0; g], 1);
+                assert_eq!(sizes.iter().sum::<usize>(), total, "total={total} g={g}");
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(min >= 1 && max - min <= 1, "total={total} g={g}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn het_partition_gives_slow_groups_more_cores() {
+        // 8 nodes (32 cores), last 2 nodes at half speed: an equal-speed
+        // split into 2 groups puts the boundary past the midpoint, so the
+        // group containing the slow tail is the larger one.
+        let spec = platforms::chic().with_nodes(8).with_slow_nodes(2, 0.5);
+        let model = pt_cost::CostModel::new(&spec);
+        let cum = speed_prefix(&model, 32);
+        let sizes = speed_partition(&cum, &[1.0, 1.0], spec.cores_per_node());
+        assert_eq!(sizes.iter().sum::<usize>(), 32);
+        assert!(
+            sizes[1] > sizes[0],
+            "slow-tail group must get more cores: {sizes:?}"
+        );
+        // And its priced class is the slow one.
+        let groups = HetGroups::equal_speed(&model, &cum, 2);
+        assert_eq!(groups.class, vec![0, 1]);
+    }
+
+    #[test]
+    fn het_partition_snaps_to_node_boundaries() {
+        // 8 CHiC nodes (4 cores each), slow tail: every cut of an aligned
+        // candidate lands on a node boundary, so each group's internal
+        // collectives stay intra-node.
+        let spec = platforms::chic().with_nodes(8).with_slow_nodes(2, 0.5);
+        let model = pt_cost::CostModel::new(&spec);
+        let cpn = spec.cores_per_node();
+        let cum = speed_prefix(&model, 32);
+        for g in 1..=8 {
+            let sizes = speed_partition(&cum, &vec![1.0; g], cpn);
+            assert_eq!(sizes.iter().sum::<usize>(), 32, "g={g}");
+            let mut cut = 0usize;
+            for &s in &sizes {
+                cut += s;
+                assert!(cut.is_multiple_of(cpn), "g={g}: off-grid cut at {cut}");
+            }
+        }
+        // More groups than nodes: no partition can be aligned, snapping
+        // turns off, and the pure speed split still covers every core.
+        let sizes = speed_partition(&cum, &[1.0; 12], cpn);
+        assert_eq!(sizes.iter().sum::<usize>(), 32);
+        assert!(sizes.iter().all(|&s| s >= 1));
+        assert!(sizes
+            .iter()
+            .scan(0, |c, s| {
+                *c += s;
+                Some(*c)
+            })
+            .any(|c| !c.is_multiple_of(cpn)));
+    }
+
+    #[test]
+    fn het_lpt_balances_by_adjusted_finish_times() {
+        // 2 equal tasks, fixed g = 2 on a machine whose second half is
+        // slow: the het greedy puts one task per group (balanced adjusted
+        // finishes), and adjustment keeps the slow group bigger.
+        let spec = platforms::chic().with_nodes(8).with_slow_nodes(4, 0.5);
+        let model = pt_cost::CostModel::new(&spec);
+        let mut g = TaskGraph::new();
+        g.add_task(MTask::compute("a", 1e9));
+        g.add_task(MTask::compute("b", 1e9));
+        let sched = LayerScheduler::new(&model)
+            .with_fixed_groups(2)
+            .schedule(&g);
+        let l0 = &sched.layers[0];
+        let counts: Vec<usize> = l0.assignments.iter().map(Vec::len).collect();
+        assert_eq!(counts, vec![1, 1]);
+        assert!(
+            l0.group_sizes[1] > l0.group_sizes[0],
+            "equal work on a slow group needs more cores: {:?}",
+            l0.group_sizes
+        );
+        assert_eq!(l0.group_sizes.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn het_path_is_off_on_uniform_machines_and_forceable() {
+        let spec = platforms::chic().with_nodes(16);
+        let model = CostModel::new(&spec);
+        let g = epol_step_graph(8, 2e9, 800_000.0);
+        assert!(!LayerScheduler::new(&model).het_active());
+        let forced = LayerScheduler::new(&model).with_het_aware(true);
+        assert!(forced.het_active());
+        // Forced het on a uniform machine is a valid schedule (not
+        // necessarily identical: the greedy keys differ).
+        assert!(forced.schedule(&g).validate().is_ok());
+        // A het machine turns the path on by default and off by force.
+        let het_spec = platforms::chic().with_nodes(16).with_slow_nodes(4, 0.5);
+        let het_model = CostModel::new(&het_spec);
+        assert!(LayerScheduler::new(&het_model).het_active());
+        assert!(!LayerScheduler::new(&het_model)
+            .with_het_aware(false)
+            .het_active());
+        // Forcing blind on a het machine reproduces the uniform-machine
+        // schedule (same graph, same totals).
+        let blind = LayerScheduler::new(&het_model)
+            .with_het_aware(false)
+            .schedule(&g);
+        let uniform = LayerScheduler::new(&model).schedule(&g);
+        assert_eq!(blind, uniform);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!    one task into a single process with threads ([`hybrid`], §4.7).
 
 pub mod adjust;
+pub mod amtha;
 pub mod cpa;
 pub mod cpr;
 pub mod hybrid;
@@ -29,6 +30,7 @@ pub mod schedule;
 pub mod two_level;
 
 pub use adjust::adjust_group_sizes;
+pub use amtha::Amtha;
 pub use cpa::Cpa;
 pub use cpr::Cpr;
 pub use hybrid::{hybrid_task_time, HybridConfig, Process, ProcessLayout};

@@ -14,6 +14,112 @@ pub const DEFAULT_RING_THRESHOLD: f64 = 4.0 * 1024.0;
 /// de Geijn) algorithm instead of a binomial tree.
 pub const DEFAULT_SAG_BCAST_THRESHOLD: f64 = 64.0 * 1024.0;
 
+/// The distinct core-speed classes of a machine, precomputed for O(log n)
+/// range queries.
+///
+/// Class indices are *descending* speeds: class 0 is the fastest (nominal,
+/// factor `1.0` on every machine built from the presets), higher classes
+/// are slower.  Homogeneous machines collapse to the single class `[1.0]`
+/// and skip all per-core bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SpeedClasses {
+    /// Distinct core speeds, descending.
+    speeds: Vec<f64>,
+    /// Class index of every core (empty when uniform).
+    class_of_core: Vec<u32>,
+    /// Sorted core positions per class (empty when uniform).
+    positions: Vec<Vec<u32>>,
+}
+
+impl SpeedClasses {
+    /// Precompute the classes of a machine.
+    pub fn build(spec: &ClusterSpec) -> SpeedClasses {
+        if spec.is_uniform() {
+            return SpeedClasses {
+                speeds: vec![1.0],
+                class_of_core: Vec::new(),
+                positions: Vec::new(),
+            };
+        }
+        let speeds = spec.speed_classes();
+        let mut class_of_core = Vec::with_capacity(spec.total_cores());
+        let mut positions = vec![Vec::new(); speeds.len()];
+        for c in spec.all_cores() {
+            let s = spec.core_speed(c);
+            let k = speeds
+                .iter()
+                .position(|&v| v.to_bits() == s.to_bits())
+                .expect("core speed is one of the machine's classes");
+            class_of_core.push(k as u32);
+            positions[k].push(c.0 as u32);
+        }
+        SpeedClasses {
+            speeds,
+            class_of_core,
+            positions,
+        }
+    }
+
+    /// `true` iff the machine has a single class.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.speeds.len() == 1
+    }
+
+    /// Number of classes (1 for homogeneous machines).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// `len() == 0` is impossible; provided for clippy symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Speed factor of a class.
+    #[inline]
+    pub fn speed(&self, class: usize) -> f64 {
+        self.speeds[class]
+    }
+
+    /// Class of a core.
+    #[inline]
+    pub fn class_of(&self, core: CoreId) -> usize {
+        if self.class_of_core.is_empty() {
+            0
+        } else {
+            self.class_of_core[core.0] as usize
+        }
+    }
+
+    /// The slowest (highest-index) class with a core in `lo..hi` — the
+    /// class a *symbolic* candidate range must be priced at, since a
+    /// data-parallel task finishes with its slowest core.  O(K log n).
+    pub fn slowest_in_range(&self, lo: usize, hi: usize) -> usize {
+        if self.class_of_core.is_empty() || lo >= hi {
+            return 0;
+        }
+        for k in (0..self.positions.len()).rev() {
+            let p = self.positions[k].partition_point(|&c| (c as usize) < lo);
+            if p < self.positions[k].len() && (self.positions[k][p] as usize) < hi {
+                return k;
+            }
+        }
+        0
+    }
+
+    /// The slowest speed factor among the given cores (`1.0` when uniform).
+    pub fn min_speed(&self, cores: &[CoreId]) -> f64 {
+        if self.class_of_core.is_empty() {
+            return 1.0;
+        }
+        let worst = cores.iter().map(|&c| self.class_of(c)).max().unwrap_or(0);
+        self.speeds[worst]
+    }
+}
+
 /// The mapping-aware cost model for one cluster.
 #[derive(Debug, Clone)]
 pub struct CostModel<'a> {
@@ -21,6 +127,8 @@ pub struct CostModel<'a> {
     pub spec: &'a ClusterSpec,
     /// Allgather algorithm switch point (per-member block bytes).
     pub ring_threshold: f64,
+    /// Precomputed core-speed classes of `spec`.
+    classes: SpeedClasses,
 }
 
 impl<'a> CostModel<'a> {
@@ -29,7 +137,27 @@ impl<'a> CostModel<'a> {
         CostModel {
             spec,
             ring_threshold: DEFAULT_RING_THRESHOLD,
+            classes: SpeedClasses::build(spec),
         }
+    }
+
+    /// The machine's speed classes.
+    #[inline]
+    pub fn classes(&self) -> &SpeedClasses {
+        &self.classes
+    }
+
+    /// `true` iff every core of the machine runs at nominal speed (the
+    /// paper's homogeneous setting — all the fast paths key off this).
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.classes.is_uniform()
+    }
+
+    /// Number of speed classes (1 for homogeneous machines).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
     }
 
     /// Point-to-point transfer time between two cores under NIC contention.
@@ -295,6 +423,65 @@ impl<'a> CostModel<'a> {
         if intra_node {
             worst = worst.max(self.spec.link_at(CommLevel::SameNode).transfer_time(bytes));
         }
+        // Cross-node: every representative pair travels the same inter-node
+        // link, and `p2p` is monotone non-decreasing in the *larger* of the
+        // two endpoints' NIC sharing factors.  The worst pair therefore
+        // contains the max-sharing node, and pairing it with any other
+        // representative evaluates the identical expression the dense
+        // max-fold would have returned — one `p2p` call instead of the
+        // former O(reps²) loop (the last quadratic factor of the
+        // non-power-of-two allreduce fallback).
+        if node_reps.len() >= 2 {
+            let mut hot = 0usize;
+            let mut hot_share = ctx.sharing(node_reps[0].0);
+            for (i, &(n, _)) in node_reps.iter().enumerate().skip(1) {
+                let s = ctx.sharing(n);
+                if s > hot_share {
+                    hot = i;
+                    hot_share = s;
+                }
+            }
+            let partner = usize::from(hot == 0);
+            worst = worst.max(self.p2p(ctx, node_reps[hot].1, node_reps[partner].1, bytes));
+        }
+        worst
+    }
+
+    /// The dense node-representative loop the argmax fold replaced, kept as
+    /// an oracle for the bit-equality tests below.
+    #[cfg(test)]
+    fn worst_link_time_rep_pairs(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
+        let mut seen_core = std::collections::HashSet::new();
+        let mut seen_label = std::collections::HashSet::new();
+        let mut node_reps: Vec<(usize, CoreId)> = Vec::new();
+        let mut intra_proc = false;
+        let mut intra_node = false;
+        for &c in cores {
+            if !seen_core.insert(c.0) {
+                continue;
+            }
+            let l = self.spec.label(c);
+            if !seen_label.insert((l.node, l.processor)) {
+                intra_proc = true;
+                continue;
+            }
+            if node_reps.iter().any(|&(n, _)| n == l.node) {
+                intra_node = true;
+            } else {
+                node_reps.push((l.node, c));
+            }
+        }
+        let mut worst = 0.0f64;
+        if intra_proc {
+            worst = worst.max(
+                self.spec
+                    .link_at(CommLevel::SameProcessor)
+                    .transfer_time(bytes),
+            );
+        }
+        if intra_node {
+            worst = worst.max(self.spec.link_at(CommLevel::SameNode).transfer_time(bytes));
+        }
         for i in 0..node_reps.len() {
             for j in i + 1..node_reps.len() {
                 worst = worst.max(self.p2p(ctx, node_reps[i].1, node_reps[j].1, bytes));
@@ -338,13 +525,33 @@ impl<'a> CostModel<'a> {
         if useful.is_empty() {
             return 0.0;
         }
-        let compute = self.spec.compute_time(task.work) / useful.len() as f64;
         let comm: f64 = task
             .comm
             .iter()
             .map(|op| self.comm_op(ctx, useful, op))
             .sum();
-        compute + comm
+        self.compute_share(task, cores) + comm
+    }
+
+    /// The compute part of [`task_time`](Self::task_time) on the same
+    /// mapped cores: identical capping and slowest-core speed division, so
+    /// simulators can subtract it from the total to report the
+    /// communication share without re-deriving the speed logic.
+    pub fn compute_share(&self, task: &MTask, cores: &[CoreId]) -> f64 {
+        let useful = match task.max_cores {
+            Some(cap) => &cores[..cores.len().min(cap)],
+            None => cores,
+        };
+        if useful.is_empty() {
+            return 0.0;
+        }
+        let mut compute = self.spec.compute_time(task.work) / useful.len() as f64;
+        if !self.classes.is_uniform() {
+            // Data-parallel work splits evenly, so the task finishes with
+            // its slowest core.
+            compute /= self.classes.min_speed(useful);
+        }
+        compute
     }
 
     /// Concurrent allgathers of several groups (the Multi-Allgather pattern
@@ -543,6 +750,74 @@ mod tests {
         let fast = m.worst_link_time(&ctx, &group, 1e5);
         let slow = m.worst_link_time_all_pairs(&ctx, &group, 1e5);
         assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+
+    #[test]
+    fn worst_link_time_argmax_fold_matches_dense_rep_loop() {
+        // The fold replaced the O(reps²) representative loop; sweep sharing
+        // patterns (max share at the front, middle, back, tied, uniform)
+        // and assert bit-equality against the retained dense oracle.
+        let spec = platforms::chic().with_nodes(8);
+        let m = CostModel::new(&spec);
+        let group: Vec<CoreId> = (0..32).map(CoreId).collect();
+        let patterns: Vec<Vec<(usize, f64)>> = vec![
+            vec![],
+            vec![(0, 9.0)],
+            vec![(3, 9.0)],
+            vec![(7, 9.0)],
+            vec![(1, 4.0), (6, 4.0)],
+            vec![(0, 2.0), (2, 8.0), (5, 3.0)],
+        ];
+        for pat in patterns {
+            let mut ctx = CommContext::uniform(&spec);
+            for &(n, s) in &pat {
+                ctx.sharers[n] = s;
+            }
+            for bytes in [8.0, 4096.0, 1e6] {
+                let fast = m.worst_link_time(&ctx, &group, bytes);
+                let dense = m.worst_link_time_rep_pairs(&ctx, &group, bytes);
+                let all = m.worst_link_time_all_pairs(&ctx, &group, bytes);
+                assert_eq!(
+                    fast.to_bits(),
+                    dense.to_bits(),
+                    "pattern {pat:?} @ {bytes}B"
+                );
+                assert_eq!(fast.to_bits(), all.to_bits(), "pattern {pat:?} @ {bytes}B");
+            }
+        }
+    }
+
+    #[test]
+    fn speed_classes_partition_the_machine() {
+        let spec = platforms::chic().with_nodes(8).with_slow_nodes(2, 0.5);
+        let m = CostModel::new(&spec);
+        assert!(!m.is_uniform());
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.classes().speed(0), 1.0);
+        assert_eq!(m.classes().speed(1), 0.5);
+        // Nodes 0..6 fast (cores 0..24), nodes 6..8 slow (cores 24..32).
+        assert_eq!(m.classes().class_of(CoreId(0)), 0);
+        assert_eq!(m.classes().class_of(CoreId(23)), 0);
+        assert_eq!(m.classes().class_of(CoreId(24)), 1);
+        assert_eq!(m.classes().slowest_in_range(0, 24), 0);
+        assert_eq!(m.classes().slowest_in_range(0, 25), 1);
+        assert_eq!(m.classes().slowest_in_range(24, 32), 1);
+        assert_eq!(m.classes().min_speed(&[CoreId(0), CoreId(1)]), 1.0);
+        assert_eq!(m.classes().min_speed(&[CoreId(0), CoreId(31)]), 0.5);
+    }
+
+    #[test]
+    fn task_time_pays_for_the_slowest_core() {
+        let spec = platforms::chic().with_nodes(2).with_slow_nodes(1, 0.5);
+        let m = CostModel::new(&spec);
+        let ctx = CommContext::uniform(&spec);
+        let task = pt_mtask::MTask::compute("t", 5.2e9); // 1 s nominal
+                                                         // Two fast cores: 0.5 s.  One fast + one slow: the slow core halves
+                                                         // throughput, so the even split finishes in 1.0 s.
+        let fast = m.task_time(&ctx, &task, &[CoreId(0), CoreId(1)]);
+        let mixed = m.task_time(&ctx, &task, &[CoreId(0), CoreId(4)]);
+        assert!((fast - 0.5).abs() < 1e-9);
+        assert!((mixed - 1.0).abs() < 1e-9);
     }
 
     #[test]

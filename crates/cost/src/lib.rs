@@ -30,7 +30,7 @@ pub mod redist;
 pub mod symbolic;
 pub mod table;
 
-pub use collectives::CostModel;
+pub use collectives::{CostModel, SpeedClasses};
 pub use context::CommContext;
 pub use symbolic::task_time_optimistic;
 pub use table::{CostTable, TableStore};

@@ -41,6 +41,52 @@ impl CostModel<'_> {
             .sum();
         compute + comm
     }
+
+    /// Placement-aware symbolic cost: [`task_time_symbolic`]
+    /// (Self::task_time_symbolic) priced for a candidate range whose
+    /// slowest core belongs to speed class `class` — the compute part slows
+    /// by the class's factor, communication is placement-blind as before.
+    ///
+    /// For a class at nominal speed this *is* `task_time_symbolic`, bit for
+    /// bit (the branch below delegates), so homogeneous machines and class
+    /// 0 of a nominal-speed tier pay nothing for the generalisation.
+    pub fn task_time_symbolic_class(&self, task: &MTask, q: usize, class: usize) -> f64 {
+        let speed = self.classes().speed(class);
+        if speed == 1.0 {
+            return self.task_time_symbolic(task, q);
+        }
+        let t = self.task_time_symbolic(task, q);
+        if !t.is_finite() {
+            return t;
+        }
+        // Re-derive the compute part exactly as task_time_symbolic did and
+        // scale only it.
+        let q_eff = match task.max_cores {
+            Some(cap) => q.min(cap),
+            None => q,
+        };
+        let compute = self.spec.compute_time(task.work) / q_eff as f64;
+        t + compute * (1.0 / speed - 1.0)
+    }
+
+    /// Class-aware optimistic cost (see [`task_time_optimistic`]); class 0
+    /// at nominal speed is bit-identical to the free function.
+    pub fn task_time_optimistic_class(&self, task: &MTask, q: usize, class: usize) -> f64 {
+        let speed = self.classes().speed(class);
+        if speed == 1.0 {
+            return task_time_optimistic(self, task, q);
+        }
+        let t = task_time_optimistic(self, task, q);
+        if !t.is_finite() {
+            return t;
+        }
+        let q_eff = match task.max_cores {
+            Some(cap) => q.min(cap),
+            None => q,
+        };
+        let compute = self.spec.compute_time(task.work) / q_eff as f64;
+        t + compute * (1.0 / speed - 1.0)
+    }
 }
 
 /// Optimistic execution-time estimate of `task` on `q` cores, as the
@@ -180,6 +226,37 @@ mod tests {
             t512 > t16,
             "communication-bound task must slow down when over-parallelised"
         );
+    }
+
+    #[test]
+    fn class_zero_is_bit_identical_to_the_homogeneous_cost() {
+        // On a 2-class machine, class 0 (nominal speed) prices exactly like
+        // the homogeneous functions; the slow class scales only compute.
+        let spec = platforms::chic().with_nodes(8).with_slow_nodes(2, 0.5);
+        let m = CostModel::new(&spec);
+        let compute = MTask::compute("c", 5.2e9);
+        let comm = MTask::with_comm("m", 5.2e9, vec![CommOp::allgather(1e6, 2.0)]);
+        for task in [&compute, &comm] {
+            for q in [1usize, 2, 7, 16, 32] {
+                assert_eq!(
+                    m.task_time_symbolic_class(task, q, 0).to_bits(),
+                    m.task_time_symbolic(task, q).to_bits()
+                );
+                assert_eq!(
+                    m.task_time_optimistic_class(task, q, 0).to_bits(),
+                    task_time_optimistic(&m, task, q).to_bits()
+                );
+            }
+        }
+        // Slow class: compute-only task exactly doubles; comm part of a
+        // mixed task is untouched.
+        let t_fast = m.task_time_symbolic_class(&compute, 4, 0);
+        let t_slow = m.task_time_symbolic_class(&compute, 4, 1);
+        assert!((t_slow / t_fast - 2.0).abs() < 1e-9);
+        let comm_part = m.task_time_symbolic(&comm, 8) - m.spec.compute_time(comm.work) / 8.0;
+        let slow_comm_part =
+            m.task_time_symbolic_class(&comm, 8, 1) - 2.0 * m.spec.compute_time(comm.work) / 8.0;
+        assert!((comm_part - slow_comm_part).abs() < 1e-9);
     }
 
     #[test]

@@ -21,7 +21,6 @@
 //! racing duplicate computation stores the same deterministic value.
 
 use crate::collectives::CostModel;
-use crate::symbolic::task_time_optimistic;
 use pt_mtask::{MTask, TaskId};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
@@ -58,21 +57,37 @@ pub struct TableStore {
     /// Columns per kind (`max_q + 1`: one per width `0..=max_q`).  Widths
     /// beyond `max_q` are computed directly, uncached.
     widths: usize,
-    /// One column per width and kind (symbolic first, then optimistic); a
-    /// column holds `tasks` cells.  A single set keeps construction to one
-    /// zeroed allocation.
+    /// Speed classes the store covers (1 on homogeneous machines — the
+    /// pre-heterogeneity layout, so warm stores of homogeneous requests
+    /// are carried over unchanged).
+    classes: usize,
+    /// One column per (class, kind, width) — within a class symbolic
+    /// columns first, then optimistic; class 0 occupies the leading
+    /// `2 * widths` slots, so a one-class store has exactly the historic
+    /// layout.  A single set keeps construction to one zeroed allocation.
     columns: ColumnSet,
     /// Cost-function evaluations actually performed (cache misses).
     misses: AtomicUsize,
 }
 
 impl TableStore {
-    /// Empty storage for `tasks` task ids and widths `1..=max_q`.
+    /// Empty storage for `tasks` task ids and widths `1..=max_q` on a
+    /// homogeneous machine (one speed class).
     pub fn new(tasks: usize, max_q: usize) -> Self {
+        Self::with_classes(tasks, max_q, 1)
+    }
+
+    /// Empty storage covering `classes` speed classes.  `classes` must
+    /// match the machine of every model the store is bound to
+    /// ([`CostModel::num_classes`](crate::CostModel::num_classes)); one
+    /// class collapses to the homogeneous layout.
+    pub fn with_classes(tasks: usize, max_q: usize, classes: usize) -> Self {
+        assert!(classes >= 1, "a machine has at least one speed class");
         TableStore {
             tasks,
             widths: max_q + 1,
-            columns: ColumnSet::new(2 * (max_q + 1), tasks),
+            classes,
+            columns: ColumnSet::new(classes * 2 * (max_q + 1), tasks),
             misses: AtomicUsize::new(0),
         }
     }
@@ -85,6 +100,11 @@ impl TableStore {
     /// Largest cached width.
     pub fn max_width(&self) -> usize {
         self.widths - 1
+    }
+
+    /// Number of speed classes the store covers.
+    pub fn classes(&self) -> usize {
+        self.classes
     }
 
     /// Number of underlying cost-function evaluations so far (see
@@ -207,11 +227,13 @@ impl std::fmt::Debug for ColumnSet {
 }
 
 impl<'a> CostTable<'a> {
-    /// Empty table for `tasks` task ids and widths `1..=max_q`.
+    /// Empty table for `tasks` task ids and widths `1..=max_q`, covering
+    /// every speed class of the model's machine (one on homogeneous
+    /// machines — the historic layout).
     pub fn with_width(model: &'a CostModel<'a>, tasks: usize, max_q: usize) -> Self {
         CostTable {
             model,
-            store: StoreHandle::Owned(TableStore::new(tasks, max_q)),
+            store: StoreHandle::Owned(TableStore::with_classes(tasks, max_q, model.num_classes())),
         }
     }
 
@@ -246,13 +268,24 @@ impl<'a> CostTable<'a> {
     /// Memoized [`CostModel::task_time_symbolic`].  `task` must be the task
     /// `id` refers to.
     pub fn symbolic(&self, id: TaskId, task: &MTask, q: usize) -> f64 {
-        self.lookup(Kind::Symbolic, id, task, q)
+        self.lookup(Kind::Symbolic, id, task, q, 0)
     }
 
     /// Memoized [`task_time_optimistic`].  `task` must be the task `id`
     /// refers to.
     pub fn optimistic(&self, id: TaskId, task: &MTask, q: usize) -> f64 {
-        self.lookup(Kind::Optimistic, id, task, q)
+        self.lookup(Kind::Optimistic, id, task, q, 0)
+    }
+
+    /// Memoized [`CostModel::task_time_symbolic_class`]: the symbolic cost
+    /// of `task` on `q` cores of speed class `class`.
+    pub fn symbolic_class(&self, id: TaskId, task: &MTask, q: usize, class: usize) -> f64 {
+        self.lookup(Kind::Symbolic, id, task, q, class)
+    }
+
+    /// Memoized [`CostModel::task_time_optimistic_class`].
+    pub fn optimistic_class(&self, id: TaskId, task: &MTask, q: usize, class: usize) -> f64 {
+        self.lookup(Kind::Optimistic, id, task, q, class)
     }
 
     /// Number of underlying cost-function evaluations so far.  Under
@@ -264,8 +297,12 @@ impl<'a> CostTable<'a> {
         self.store().evaluations()
     }
 
-    fn lookup(&self, kind: Kind, id: TaskId, task: &MTask, q: usize) -> f64 {
+    fn lookup(&self, kind: Kind, id: TaskId, task: &MTask, q: usize, class: usize) -> f64 {
         debug_assert!(q >= 1, "task {:?}: zero-core width priced", task.name);
+        debug_assert!(
+            class < self.model.num_classes(),
+            "class {class} out of range for this machine"
+        );
         let store = self.store();
         // Capped widths all hit the capped entry.
         let q = match task.max_cores {
@@ -275,21 +312,25 @@ impl<'a> CostTable<'a> {
         if q == 0 {
             return f64::INFINITY;
         }
+        // The class functions delegate to the homogeneous ones at nominal
+        // speed, so class 0 of a uniform machine prices (and caches)
+        // bit-identically to the historic path.
         let compute = || {
             store.misses.fetch_add(1, Ordering::Relaxed);
             match kind {
-                Kind::Symbolic => self.model.task_time_symbolic(task, q),
-                Kind::Optimistic => task_time_optimistic(self.model, task, q),
+                Kind::Symbolic => self.model.task_time_symbolic_class(task, q, class),
+                Kind::Optimistic => self.model.task_time_optimistic_class(task, q, class),
             }
         };
         // Out-of-range pairs stay correct, just uncached.
-        if id.0 >= store.tasks || q >= store.widths {
+        if id.0 >= store.tasks || q >= store.widths || class >= store.classes {
             return compute();
         }
-        let slot = match kind {
-            Kind::Symbolic => q,
-            Kind::Optimistic => store.widths + q,
-        };
+        let slot = class * 2 * store.widths
+            + match kind {
+                Kind::Symbolic => q,
+                Kind::Optimistic => store.widths + q,
+            };
         let Some(col) = store.columns.column(slot) else {
             return compute();
         };
@@ -307,6 +348,7 @@ impl<'a> CostTable<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbolic::task_time_optimistic;
     use pt_machine::platforms;
     use pt_mtask::CommOp;
 
@@ -396,6 +438,49 @@ mod tests {
             }
         }
         assert_eq!(store.evaluations(), cold);
+    }
+
+    #[test]
+    fn class_dimension_memoizes_per_class() {
+        // Two-class machine: the same (task, q) pair memoizes separately
+        // per class, each cell matching the direct class computation, and
+        // class 0 stays bit-identical to the homogeneous accessor.
+        let spec = platforms::chic().with_nodes(8).with_slow_nodes(2, 0.5);
+        let model = CostModel::new(&spec);
+        assert_eq!(model.num_classes(), 2);
+        let ts = tasks();
+        let table = CostTable::new(&model, ts.len());
+        for (i, t) in ts.iter().enumerate() {
+            for q in [1usize, 2, 7, 16] {
+                for class in 0..model.num_classes() {
+                    let id = TaskId(i);
+                    assert_eq!(
+                        table.symbolic_class(id, t, q, class).to_bits(),
+                        model.task_time_symbolic_class(t, q, class).to_bits()
+                    );
+                    assert_eq!(
+                        table.optimistic_class(id, t, q, class).to_bits(),
+                        model.task_time_optimistic_class(t, q, class).to_bits()
+                    );
+                }
+                assert_eq!(
+                    table.symbolic(TaskId(i), t, q).to_bits(),
+                    table.symbolic_class(TaskId(i), t, q, 0).to_bits()
+                );
+            }
+        }
+        // Repeating the sweep adds no evaluations: every (class, kind,
+        // width, task) cell is warm.
+        let warm = table.evaluations();
+        for (i, t) in ts.iter().enumerate() {
+            for q in [1usize, 2, 7, 16] {
+                for class in 0..model.num_classes() {
+                    table.symbolic_class(TaskId(i), t, q, class);
+                    table.optimistic_class(TaskId(i), t, q, class);
+                }
+            }
+        }
+        assert_eq!(table.evaluations(), warm);
     }
 
     #[test]

@@ -91,12 +91,120 @@ impl LinkParams {
     }
 }
 
-/// Description of a regular (homogeneous) hierarchical cluster.
+/// Multiplicative per-node and per-core compute speed factors.
+///
+/// The paper's platforms are homogeneous, but shared production pools are
+/// not: nodes of different generations coexist, and cores within a node may
+/// be clocked down.  A profile stores a factor per node and a factor per
+/// core-within-a-node; the effective speed of a core is the product of the
+/// two.  A factor of `1.0` means "nominal speed" (`core_flops`), `0.5`
+/// means the core computes at half that rate.
+///
+/// Internally the factor vectors are *normalized*: an all-`1.0` vector is
+/// stored as the empty vector, so structurally a `uniform()` profile
+/// compares (and hashes) equal no matter how it was built, and the
+/// homogeneous fast paths can key off [`is_uniform`](Self::is_uniform).
+/// Missing entries (node index beyond the vector) read as `1.0`, which
+/// makes profiles robust under [`ClusterSpec::with_nodes`] resizing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedProfile {
+    /// Per-node factor (`[]` ≡ all nodes at `1.0`).
+    node_factors: Vec<f64>,
+    /// Per-core-within-node factor (`[]` ≡ all cores at `1.0`).
+    core_factors: Vec<f64>,
+}
+
+impl SpeedProfile {
+    /// The homogeneous profile: every core at nominal speed.
+    pub fn uniform() -> SpeedProfile {
+        SpeedProfile {
+            node_factors: Vec::new(),
+            core_factors: Vec::new(),
+        }
+    }
+
+    /// Profile with explicit per-node factors (cores within a node stay
+    /// uniform).  Factors must be finite and positive.
+    pub fn with_node_factors(factors: Vec<f64>) -> SpeedProfile {
+        SpeedProfile {
+            node_factors: normalize(factors),
+            core_factors: Vec::new(),
+        }
+    }
+
+    /// Profile with explicit per-core-within-node factors (e.g. one slow
+    /// efficiency core per node).
+    pub fn with_core_factors(factors: Vec<f64>) -> SpeedProfile {
+        SpeedProfile {
+            node_factors: Vec::new(),
+            core_factors: normalize(factors),
+        }
+    }
+
+    /// `true` iff every core runs at nominal speed.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.node_factors.is_empty() && self.core_factors.is_empty()
+    }
+
+    /// Speed factor of node `n` (missing entries read as `1.0`).
+    #[inline]
+    pub fn node_factor(&self, n: usize) -> f64 {
+        self.node_factors.get(n).copied().unwrap_or(1.0)
+    }
+
+    /// Speed factor of core `c` within its node (missing entries read as
+    /// `1.0`).
+    #[inline]
+    pub fn core_factor(&self, c: usize) -> f64 {
+        self.core_factors.get(c).copied().unwrap_or(1.0)
+    }
+
+    /// The stored per-node factors (normalized: empty means uniform).
+    pub fn node_factors(&self) -> &[f64] {
+        &self.node_factors
+    }
+
+    /// The stored per-core-within-node factors (normalized: empty means
+    /// uniform).
+    pub fn core_factors(&self) -> &[f64] {
+        &self.core_factors
+    }
+
+    /// Restrict the profile to the first `nodes` nodes, re-normalizing so
+    /// a now-homogeneous remainder reads as uniform again.
+    pub fn truncated(&self, nodes: usize) -> SpeedProfile {
+        let mut nf = self.node_factors.clone();
+        nf.truncate(nodes);
+        SpeedProfile {
+            node_factors: normalize(nf),
+            core_factors: self.core_factors.clone(),
+        }
+    }
+}
+
+/// Drop trailing (and all-) `1.0` factors so equal profiles are equal
+/// vectors; rejects non-positive or non-finite factors.
+fn normalize(mut factors: Vec<f64>) -> Vec<f64> {
+    for &f in &factors {
+        assert!(
+            f.is_finite() && f > 0.0,
+            "speed factors must be finite and positive, got {f}"
+        );
+    }
+    while factors.last() == Some(&1.0) {
+        factors.pop();
+    }
+    factors
+}
+
+/// Description of a regular hierarchical cluster.
 ///
 /// All nodes have the same processor count and all processors the same core
-/// count, matching the platforms of the paper's evaluation.  Heterogeneity
-/// enters through the *interconnect*: the three [`LinkParams`] levels differ
-/// by an order of magnitude or more on real machines.
+/// count, matching the platforms of the paper's evaluation.  Interconnect
+/// heterogeneity enters through the three [`LinkParams`] levels, which
+/// differ by an order of magnitude or more on real machines; *compute*
+/// heterogeneity enters through the optional [`SpeedProfile`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Human-readable platform name (e.g. `"CHiC"`).
@@ -110,6 +218,10 @@ pub struct ClusterSpec {
     /// Peak performance of a single core in floating-point operations per
     /// second; used to convert a task's sequential work into seconds.
     pub core_flops: f64,
+    /// Per-node / per-core multiplicative speed factors on top of
+    /// `core_flops` ([`SpeedProfile::uniform`] for the paper's homogeneous
+    /// platforms).
+    pub speed: SpeedProfile,
     /// Link parameters between cores of the same processor.
     pub intra_processor: LinkParams,
     /// Link parameters between processors of the same node.
@@ -232,6 +344,7 @@ impl ClusterSpec {
         assert!(nodes >= 1, "cluster needs at least one node");
         ClusterSpec {
             nodes,
+            speed: self.speed.truncated(nodes),
             ..self.clone()
         }
     }
@@ -251,10 +364,80 @@ impl ClusterSpec {
     }
 
     /// Seconds of compute time for `flops` floating point operations on one
-    /// core.
+    /// *nominal-speed* core.
     #[inline]
     pub fn compute_time(&self, flops: f64) -> f64 {
         flops / self.core_flops
+    }
+
+    /// `true` iff every core of this machine runs at nominal speed.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.speed.is_uniform()
+    }
+
+    /// Effective speed factor of a specific core: the product of its node
+    /// and within-node factors (`1.0` on homogeneous machines).
+    #[inline]
+    pub fn core_speed(&self, core: CoreId) -> f64 {
+        if self.speed.is_uniform() {
+            return 1.0;
+        }
+        let label = self.label(core);
+        self.speed.node_factor(label.node)
+            * self
+                .speed
+                .core_factor(label.processor * self.cores_per_processor + label.core)
+    }
+
+    /// Seconds of compute time for `flops` floating point operations on a
+    /// *specific* core — [`compute_time`](Self::compute_time) scaled by the
+    /// core's speed factor.
+    #[inline]
+    pub fn compute_time_at(&self, core: CoreId, flops: f64) -> f64 {
+        let t = self.compute_time(flops);
+        if self.speed.is_uniform() {
+            t
+        } else {
+            t / self.core_speed(core)
+        }
+    }
+
+    /// The same machine with a different speed profile.
+    pub fn with_speed(&self, speed: SpeedProfile) -> ClusterSpec {
+        let mut out = self.clone();
+        out.speed = speed;
+        out
+    }
+
+    /// A 2-class variant of this machine: the *last* `count` nodes run at
+    /// `factor` × nominal speed (taking the tail keeps core `0..k` prefixes
+    /// — the common symbolic ranges — on fast nodes, so the contrast with
+    /// the blind scheduler comes from placement, not from luck).
+    pub fn with_slow_nodes(&self, count: usize, factor: f64) -> ClusterSpec {
+        assert!(count <= self.nodes, "machine has only {} nodes", self.nodes);
+        let mut nf = vec![1.0; self.nodes];
+        for f in nf.iter_mut().skip(self.nodes - count) {
+            *f = factor;
+        }
+        let mut out = self.clone();
+        out.speed = SpeedProfile {
+            node_factors: normalize(nf),
+            core_factors: self.speed.core_factors.clone(),
+        };
+        out
+    }
+
+    /// The distinct core speeds of the machine, descending (fastest first).
+    /// Homogeneous machines have exactly one class, `[1.0]`.
+    pub fn speed_classes(&self) -> Vec<f64> {
+        if self.speed.is_uniform() {
+            return vec![1.0];
+        }
+        let mut speeds: Vec<f64> = self.all_cores().map(|c| self.core_speed(c)).collect();
+        speeds.sort_by(|a, b| b.total_cmp(a));
+        speeds.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        speeds
     }
 }
 
@@ -269,6 +452,7 @@ mod tests {
             processors_per_node: 2,
             cores_per_processor: 2,
             core_flops: 1e9,
+            speed: SpeedProfile::uniform(),
             intra_processor: LinkParams {
                 latency_s: 1e-7,
                 bytes_per_s: 8e9,
@@ -367,6 +551,68 @@ mod tests {
     #[should_panic(expected = "whole number")]
     fn with_cores_rejects_partial_nodes() {
         toy().with_cores(6);
+    }
+
+    #[test]
+    fn uniform_profile_is_normal_form() {
+        // Any all-1.0 construction collapses to the canonical uniform
+        // profile, so structural equality and hashing see one value.
+        assert_eq!(
+            SpeedProfile::with_node_factors(vec![1.0; 7]),
+            SpeedProfile::uniform()
+        );
+        assert_eq!(
+            SpeedProfile::with_core_factors(vec![1.0, 1.0]),
+            SpeedProfile::uniform()
+        );
+        assert!(toy().is_uniform());
+        assert_eq!(toy().speed_classes(), vec![1.0]);
+        for c in toy().all_cores() {
+            assert_eq!(toy().core_speed(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn slow_nodes_mark_the_tail() {
+        let c = toy().with_slow_nodes(2, 0.5);
+        assert!(!c.is_uniform());
+        // Nodes 0,1 nominal; nodes 2,3 at half speed.
+        assert_eq!(c.core_speed(CoreId(0)), 1.0);
+        assert_eq!(c.core_speed(CoreId(7)), 1.0);
+        assert_eq!(c.core_speed(CoreId(8)), 0.5);
+        assert_eq!(c.core_speed(CoreId(15)), 0.5);
+        assert_eq!(c.speed_classes(), vec![1.0, 0.5]);
+        // Compute time doubles on a slow core.
+        let nominal = c.compute_time(1e9);
+        assert_eq!(
+            c.compute_time_at(CoreId(0), 1e9).to_bits(),
+            nominal.to_bits()
+        );
+        assert!((c.compute_time_at(CoreId(8), 1e9) - 2.0 * nominal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_and_core_factors_multiply() {
+        let mut c = toy();
+        c.speed = SpeedProfile {
+            node_factors: vec![1.0, 0.5],
+            core_factors: vec![1.0, 1.0, 1.0, 0.5],
+        };
+        // Node 1, last core of the node: both factors apply.
+        assert_eq!(c.core_speed(CoreId(7)), 0.25);
+        // Node 2 (beyond node_factors): node factor reads 1.0.
+        assert_eq!(c.core_speed(CoreId(11)), 0.5);
+        assert_eq!(c.speed_classes(), vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn with_nodes_renormalizes_the_profile() {
+        // Slow tail dropped by the resize: the sub-machine is uniform again.
+        let c = toy().with_slow_nodes(1, 0.5).with_nodes(3);
+        assert!(c.is_uniform());
+        let d = toy().with_slow_nodes(2, 0.5).with_nodes(3);
+        assert!(!d.is_uniform());
+        assert_eq!(d.core_speed(CoreId(8)), 0.5);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! *relations* between levels (intra-processor ≫ intra-node ≫ inter-node
 //! bandwidth) are what drives every mapping effect the paper reports.
 
-use crate::{ClusterSpec, LinkParams};
+use crate::{ClusterSpec, LinkParams, SpeedProfile};
 
 /// Chemnitz High Performance Linux (CHiC) cluster.
 ///
@@ -21,6 +21,7 @@ pub fn chic() -> ClusterSpec {
         processors_per_node: 2,
         cores_per_processor: 2,
         core_flops: 5.2e9,
+        speed: SpeedProfile::uniform(),
         intra_processor: LinkParams {
             latency_s: 2.0e-7,
             bytes_per_s: 6.0e9,
@@ -52,6 +53,7 @@ pub fn altix() -> ClusterSpec {
         processors_per_node: 2,
         cores_per_processor: 2,
         core_flops: 6.4e9,
+        speed: SpeedProfile::uniform(),
         intra_processor: LinkParams {
             latency_s: 1.5e-7,
             bytes_per_s: 6.5e9,
@@ -81,6 +83,7 @@ pub fn juropa() -> ClusterSpec {
         processors_per_node: 2,
         cores_per_processor: 4,
         core_flops: 11.72e9,
+        speed: SpeedProfile::uniform(),
         intra_processor: LinkParams {
             latency_s: 1.0e-7,
             bytes_per_s: 1.0e10,
@@ -108,6 +111,7 @@ pub fn example_2x2x2() -> ClusterSpec {
         processors_per_node: 2,
         cores_per_processor: 2,
         core_flops: 1.0e9,
+        speed: SpeedProfile::uniform(),
         intra_processor: LinkParams {
             latency_s: 1.0e-7,
             bytes_per_s: 8.0e9,

@@ -292,6 +292,17 @@ fn hash_machine(h: &mut Sig128, m: &ClusterSpec) {
     }
     h.write_f64(m.nic_bytes_per_s);
     h.write_u64(u64::from(m.shared_memory_across_nodes));
+    // Speed profile: factors are normalized (trailing 1.0s dropped), so any
+    // uniform construction hashes like the empty profile and het machines
+    // can never collide with their homogeneous twin.
+    h.write_u64(m.speed.node_factors().len() as u64);
+    for &f in m.speed.node_factors() {
+        h.write_f64(f);
+    }
+    h.write_u64(m.speed.core_factors().len() as u64);
+    for &f in m.speed.core_factors() {
+        h.write_f64(f);
+    }
 }
 
 fn hash_mapping(h: &mut Sig128, m: MappingStrategy) {
@@ -443,6 +454,38 @@ mod tests {
         let extra = g.add_task(MTask::compute("c", 5e8));
         g.add_edge(pt_mtask::TaskId(1), extra, EdgeData::ordering());
         variations.push(("extra task", with_graph(&base, g)));
+        // Machine speed profile: perturbing any single node's speed factor
+        // must miss — the cache can never serve a homogeneous schedule for
+        // a heterogeneous machine (or for a differently-het one).
+        for node in 0..base.machine.nodes {
+            let mut factors = vec![1.0; base.machine.nodes];
+            factors[node] = 0.5;
+            variations.push((
+                "node speed factor",
+                ScheduleRequest {
+                    machine: Arc::new(
+                        base.machine
+                            .with_speed(pt_machine::SpeedProfile::with_node_factors(factors)),
+                    ),
+                    total_cores: base.total_cores,
+                    ..base.clone()
+                },
+            ));
+        }
+        // A per-core-within-node slowdown likewise.
+        let mut core_factors = vec![1.0; base.machine.cores_per_node()];
+        *core_factors.last_mut().unwrap() = 0.25;
+        variations.push((
+            "core speed factor",
+            ScheduleRequest {
+                machine: Arc::new(
+                    base.machine
+                        .with_speed(pt_machine::SpeedProfile::with_core_factors(core_factors)),
+                ),
+                total_cores: base.total_cores,
+                ..base.clone()
+            },
+        ));
 
         for (what, v) in variations {
             assert_ne!(sig, v.signature(), "{what} did not change the signature");

@@ -394,8 +394,15 @@ fn warm_store(
     }
     // The store is indexed by contracted task ids, which are bounded by the
     // original graph's length; sizing to the uncontracted graph keeps every
-    // id cached without knowing the contraction yet.
-    let store = Arc::new(TableStore::new(request.graph.len(), request.total_cores));
+    // id cached without knowing the contraction yet.  The class count comes
+    // from the machine (1 on homogeneous ones — the historic layout), and
+    // is part of the table signature via the speed profile, so every
+    // rebinding sees the same class dimension.
+    let store = Arc::new(TableStore::with_classes(
+        request.graph.len(),
+        request.total_cores,
+        request.machine.speed_classes().len(),
+    ));
     if tables.len() >= shared.config.tables_per_worker.max(1) {
         if let Some(lru) = (0..tables.len()).min_by_key(|&i| tables[i].last_used) {
             tables.swap_remove(lru);

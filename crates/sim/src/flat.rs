@@ -120,11 +120,7 @@ impl Simulator<'_> {
             for n in dirty.drain(..) {
                 scratch_ctx.sharers[n as usize] = 1.0;
             }
-            let useful = match task.max_cores {
-                Some(cap) => cores.len().min(cap),
-                None => cores.len(),
-            };
-            let compute = spec.compute_time(task.work) / useful.max(1) as f64;
+            let compute = self.model.compute_share(task, cores);
             let end = start + dur;
             for &c in cores {
                 core_free[c.0] = end;
@@ -457,11 +453,7 @@ mod reference {
                 let start = data_ready.max(cores_ready);
                 let task = graph.task(entry.task);
                 let dur = self.model.task_time(&ctx, task, &cores);
-                let useful = match task.max_cores {
-                    Some(cap) => cores.len().min(cap),
-                    None => cores.len(),
-                };
-                let compute = spec.compute_time(task.work) / useful.max(1) as f64;
+                let compute = self.model.compute_share(task, &cores);
                 let end = start + dur;
                 for &c in &cores {
                     core_free.insert(c, end);
@@ -521,6 +513,41 @@ mod tests {
         let ta = rep.task(a).unwrap();
         let tb = rep.task(b).unwrap();
         assert!(tb.start >= ta.finish);
+    }
+
+    #[test]
+    fn slow_cores_stretch_simulated_compute() {
+        // One compute task pinned to the slow tail node runs 2× longer than
+        // on a fast node; comm_time stays zero either way (the speed factor
+        // must hit only the compute part).
+        let spec = platforms::chic().with_nodes(4).with_slow_nodes(1, 0.5);
+        let model = CostModel::new(&spec);
+        let sim = Simulator::new(&model);
+        let mut g = TaskGraph::new();
+        let a = g.add_task(MTask::compute("a", 5.2e9));
+        let cpn = spec.cores_per_node();
+        let entry = |cores: Vec<usize>| SymbolicSchedule {
+            total_cores: spec.total_cores(),
+            entries: vec![ScheduledTask {
+                task: a,
+                cores,
+                est_start: 0.0,
+                est_finish: 0.0,
+            }],
+        };
+        let fast = entry((0..cpn).collect());
+        let slow = entry((3 * cpn..4 * cpn).collect());
+        let mapping = MappingStrategy::Consecutive.mapping(&spec, spec.total_cores());
+        let rep_fast = sim.simulate_flat(&g, &fast, &mapping);
+        let rep_slow = sim.simulate_flat(&g, &slow, &mapping);
+        let tf = rep_fast.task(a).unwrap();
+        let ts = rep_slow.task(a).unwrap();
+        assert!(
+            (ts.finish / tf.finish - 2.0).abs() < 1e-9,
+            "half-speed cores must double the compute time"
+        );
+        assert_eq!(tf.comm_time, 0.0);
+        assert_eq!(ts.comm_time, 0.0);
     }
 
     #[test]

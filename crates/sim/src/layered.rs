@@ -140,11 +140,9 @@ impl Simulator<'_> {
             }
             None => {
                 let total = self.model.task_time(ctx, task, cores);
-                let useful = match task.max_cores {
-                    Some(cap) => cores.len().min(cap),
-                    None => cores.len(),
-                };
-                let compute = self.model.spec.compute_time(task.work) / useful.max(1) as f64;
+                // Same capping and slowest-core division as task_time, so
+                // the communication share stays exact on het machines.
+                let compute = self.model.compute_share(task, cores);
                 (total, (total - compute).max(0.0))
             }
         }

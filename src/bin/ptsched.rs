@@ -6,9 +6,17 @@
 //!         [--platform chic|altix|juropa] [--cores N]
 //!         [--mapping consecutive|scattered|mixed2|mixed4]
 //!         [--groups G] [--steps S] [--gantt]
+//!         [--slow-nodes N] [--slow-factor F] [--trace PATH]
 //! ptsched serve [--listen ADDR] [--workers N] [--sweep-workers N]
 //!               [--cache-capacity N]
 //! ```
+//!
+//! `--slow-nodes N` degrades the *last* N nodes of the machine to
+//! `--slow-factor` × nominal speed (default 0.5), turning on the layer
+//! scheduler's heterogeneity-aware path.  `--trace PATH` writes a
+//! Chrome-trace JSON of the run — scheduler phases plus the simulated
+//! timeline under the selected mapping — openable at
+//! <https://ui.perfetto.dev>.
 //!
 //! The one-shot form prints the computed schedule, the simulated time per
 //! step under the chosen mapping (and all alternatives for comparison) and
@@ -22,6 +30,7 @@
 //!
 //! ```text
 //! {"workload":"epol","platform":"chic","cores":64,"mapping":"consecutive","steps":2}
+//! {"workload":"bt-mz","platform":"juropa","cores":256,"slow_nodes":8,"slow_factor":0.5}
 //! {"cmd":"stats"}
 //! ```
 //!
@@ -35,6 +44,7 @@ use parallel_tasks::cost::CostModel;
 use parallel_tasks::machine::{platforms, ClusterSpec};
 use parallel_tasks::mtask::TaskGraph;
 use parallel_tasks::nas::{bt_mz, sp_mz, Class};
+use parallel_tasks::obs::TraceRecorder;
 use parallel_tasks::ode::{Bruss2d, Diirk, Epol, Irk, Pab, Pabm};
 use parallel_tasks::serve::{CacheStatus, SchedService, ScheduleRequest, ServeConfig};
 use parallel_tasks::sim::{render_gantt, render_layers, Simulator};
@@ -51,6 +61,9 @@ struct Options {
     groups: Option<usize>,
     steps: usize,
     gantt: bool,
+    slow_nodes: usize,
+    slow_factor: f64,
+    trace: Option<String>,
 }
 
 const WORKLOADS: &[&str] = &["epol", "irk", "diirk", "pab", "pabm", "sp-mz", "bt-mz"];
@@ -64,6 +77,9 @@ fn parse_args(args: &mut dyn Iterator<Item = String>) -> Result<Options, String>
         groups: None,
         steps: 2,
         gantt: false,
+        slow_nodes: 0,
+        slow_factor: 0.5,
+        trace: None,
     };
     while let Some(a) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -91,12 +107,24 @@ fn parse_args(args: &mut dyn Iterator<Item = String>) -> Result<Options, String>
                     .map_err(|e| format!("--steps: {e}"))?
             }
             "--gantt" => o.gantt = true,
+            "--slow-nodes" => {
+                o.slow_nodes = take("--slow-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--slow-nodes: {e}"))?
+            }
+            "--slow-factor" => {
+                o.slow_factor = take("--slow-factor")?
+                    .parse()
+                    .map_err(|e| format!("--slow-factor: {e}"))?
+            }
+            "--trace" => o.trace = Some(take("--trace")?),
             "--help" | "-h" => {
                 println!(
                     "usage: ptsched [--workload epol|irk|diirk|pab|pabm|sp-mz|bt-mz] \
                      [--platform chic|altix|juropa] [--cores N] \
                      [--mapping consecutive|scattered|mixed2|mixed4] \
-                     [--groups G] [--steps S] [--gantt]\n\
+                     [--groups G] [--steps S] [--gantt] \
+                     [--slow-nodes N] [--slow-factor F] [--trace PATH]\n\
                      \x20      ptsched serve [--listen HOST:PORT] [--workers N] \
                      [--sweep-workers N] [--cache-capacity N]"
                 );
@@ -124,6 +152,27 @@ fn validate_options(o: &Options) -> Result<(), String> {
     }
     if o.steps == 0 {
         return Err("--steps must be at least 1".into());
+    }
+    check_slow(&machine, o.cores, o.slow_nodes, o.slow_factor)?;
+    Ok(())
+}
+
+/// `--slow-nodes` / `--slow-factor` range checks against the sub-machine
+/// actually used (`cores` wide), whose node count bounds the slow tail.
+fn check_slow(
+    machine: &ClusterSpec,
+    cores: usize,
+    slow_nodes: usize,
+    slow_factor: f64,
+) -> Result<(), String> {
+    let nodes = cores / machine.cores_per_node();
+    if slow_nodes > nodes {
+        return Err(format!(
+            "--slow-nodes {slow_nodes} exceeds the {nodes} nodes selected by --cores {cores}"
+        ));
+    }
+    if !(slow_factor > 0.0 && slow_factor.is_finite()) {
+        return Err("--slow-factor must be a positive number".into());
     }
     Ok(())
 }
@@ -196,12 +245,19 @@ fn main() {
     };
     let run = || -> Result<(), String> {
         let machine = platform(&o.platform)?;
-        let spec = machine.with_cores(o.cores);
+        let mut spec = machine.with_cores(o.cores);
+        if o.slow_nodes > 0 {
+            spec = spec.with_slow_nodes(o.slow_nodes, o.slow_factor);
+        }
         let graph = workload(&o.workload, o.steps)?;
         let model = CostModel::new(&spec);
         let mut scheduler = LayerScheduler::new(&model);
         if let Some(g) = o.groups {
             scheduler = scheduler.with_fixed_groups(g);
+        }
+        let recorder = o.trace.as_ref().map(|_| Arc::new(TraceRecorder::new(1)));
+        if let Some(r) = &recorder {
+            scheduler = scheduler.with_recorder(r.clone());
         }
         let schedule = scheduler.schedule(&graph);
         println!(
@@ -212,6 +268,16 @@ fn main() {
             spec.name,
             o.cores
         );
+        if !spec.is_uniform() {
+            println!(
+                "machine: last {} of {} nodes at {}x nominal speed \
+                 (het-aware scheduling on, classes {:?})",
+                o.slow_nodes,
+                spec.nodes,
+                o.slow_factor,
+                spec.speed_classes()
+            );
+        }
         println!(
             "schedule: {} layers, group counts {:?}",
             schedule.layers.len(),
@@ -263,6 +329,19 @@ fn main() {
         if o.gantt {
             println!("\ntimeline:");
             print!("{}", render_gantt(&rep, &graph, 64));
+        }
+        if let Some(path) = &o.trace {
+            let mut trace = parallel_tasks::sim::chrome_trace(&graph, &schedule, &rep, &m, &spec);
+            trace.name_process(parallel_tasks::core::two_level::SCHED_PID, "scheduler");
+            trace.name_thread(parallel_tasks::core::two_level::SCHED_PID, 0, "phases");
+            if let Some(r) = recorder {
+                drop(scheduler); // releases the scheduler's recorder handle
+                let mut r =
+                    Arc::try_unwrap(r).expect("scheduler drops its recorder handle after the run");
+                trace.extend(r.drain());
+            }
+            std::fs::write(path, trace.to_json()).map_err(|e| format!("--trace {path}: {e}"))?;
+            println!("\nwrote chrome trace to {path}");
         }
         Ok(())
     };
@@ -326,11 +405,12 @@ fn parse_serve_args(args: &mut dyn Iterator<Item = String>) -> Result<ServeOptio
 /// `Arc`, so the cache's structural verification short-circuits on pointer
 /// equality.
 type GraphCache = Mutex<HashMap<(String, usize), Arc<TaskGraph>>>;
+type MachineCache = Mutex<HashMap<(String, usize, usize, u64), Arc<ClusterSpec>>>;
 
 struct ServeState {
     service: SchedService,
     graphs: GraphCache,
-    machines: Mutex<HashMap<(String, usize), Arc<ClusterSpec>>>,
+    machines: MachineCache,
 }
 
 fn serve_main(args: &mut dyn Iterator<Item = String>) -> i32 {
@@ -450,6 +530,8 @@ fn serve_request(state: &ServeState, line: &str) -> Result<String, String> {
     let mapping_name = str_or(&v, "mapping", "consecutive")?;
     let groups = opt_usize(&v, "groups")?;
     let steps = usize_or(&v, "steps", 2)?;
+    let slow_nodes = usize_or(&v, "slow_nodes", 0)?;
+    let slow_factor = f64_or(&v, "slow_factor", 0.5)?;
     if steps == 0 {
         return Err("steps must be at least 1".into());
     }
@@ -460,12 +542,25 @@ fn serve_request(state: &ServeState, line: &str) -> Result<String, String> {
     let machine = {
         let base = platform(&platform_name)?;
         check_cores(&base, cores)?;
+        check_slow(&base, cores, slow_nodes, slow_factor)?;
         state
             .machines
             .lock()
             .expect("machine cache lock")
-            .entry((platform_name.clone(), cores))
-            .or_insert_with(|| Arc::new(base.with_cores(cores)))
+            .entry((
+                platform_name.clone(),
+                cores,
+                slow_nodes,
+                slow_factor.to_bits(),
+            ))
+            .or_insert_with(|| {
+                let spec = base.with_cores(cores);
+                Arc::new(if slow_nodes > 0 {
+                    spec.with_slow_nodes(slow_nodes, slow_factor)
+                } else {
+                    spec
+                })
+            })
             .clone()
     };
     let graph = {
@@ -516,6 +611,14 @@ fn usize_or(v: &Value, name: &str, default: usize) -> Result<usize, String> {
     match opt_usize(v, name)? {
         Some(n) => Ok(n),
         None => Ok(default),
+    }
+}
+
+fn f64_or(v: &Value, name: &str, default: f64) -> Result<f64, String> {
+    match get(v, name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(val) => <f64 as serde::Deserialize>::deserialize(val)
+            .map_err(|_| format!("field `{name}` must be a number, got {val:?}")),
     }
 }
 

@@ -4,8 +4,8 @@
 use parallel_tasks::core::{
     adjust_group_sizes, Cpa, Cpr, DataParallel, LayerScheduler, MappingStrategy,
 };
-use parallel_tasks::cost::CostModel;
-use parallel_tasks::machine::{ClusterSpec, LinkParams};
+use parallel_tasks::cost::{CommContext, CostModel};
+use parallel_tasks::machine::{ClusterSpec, CoreId, LinkParams, SpeedProfile};
 use parallel_tasks::mtask::{layers, ChainGraph, CommOp, EdgeData, MTask, TaskGraph, TaskId};
 use parallel_tasks::sim::Simulator;
 use proptest::prelude::*;
@@ -54,6 +54,7 @@ fn toy_cluster(nodes: usize) -> ClusterSpec {
         processors_per_node: 2,
         cores_per_processor: 2,
         core_flops: 1e9,
+        speed: SpeedProfile::uniform(),
         intra_processor: LinkParams {
             latency_s: 1e-7,
             bytes_per_s: 8e9,
@@ -200,5 +201,50 @@ proptest! {
         let map = MappingStrategy::Consecutive.mapping(&spec, spec.total_cores());
         let rep = sim.simulate_layered(&g, &sched, &map);
         prop_assert!(rep.makespan >= bound * 0.999, "{} < {}", rep.makespan, bound);
+    }
+
+    #[test]
+    fn unit_speed_profile_is_bit_identical_to_the_homogeneous_path(
+        g in arb_graph(), nodes in 1usize..5
+    ) {
+        // A machine whose speed profile is *explicitly* all ones must be
+        // indistinguishable — to the bit — from one that never mentions
+        // speeds: same costs, same schedules, same simulated reports.
+        // This pins the heterogeneity refactor to its contract that
+        // homogeneous machines take the exact pre-refactor code path.
+        let plain = toy_cluster(nodes);
+        let cpn = plain.cores_per_node();
+        let p = plain.total_cores();
+        let m0 = CostModel::new(&plain);
+        for explicit in [
+            plain.with_speed(SpeedProfile::with_node_factors(vec![1.0; nodes])),
+            plain.with_speed(SpeedProfile::with_core_factors(vec![1.0; cpn])),
+        ] {
+            prop_assert!(explicit.is_uniform());
+            let m1 = CostModel::new(&explicit);
+            prop_assert_eq!(m1.num_classes(), 1);
+            // Costs, bit for bit, at several widths.
+            let ctx = CommContext::uniform(&plain);
+            for t in g.task_ids() {
+                let task = g.task(t);
+                for q in [1usize, cpn, p] {
+                    let cores: Vec<CoreId> = (0..q).map(CoreId).collect();
+                    prop_assert_eq!(
+                        m0.task_time(&ctx, task, &cores).to_bits(),
+                        m1.task_time(&ctx, task, &cores).to_bits()
+                    );
+                }
+            }
+            // Schedules and simulated reports across every mapping.
+            let s0 = LayerScheduler::new(&m0).schedule(&g);
+            let s1 = LayerScheduler::new(&m1).schedule(&g);
+            prop_assert_eq!(&s0, &s1);
+            for strategy in MappingStrategy::all_for(&plain) {
+                let map = strategy.mapping(&plain, p);
+                let r0 = Simulator::new(&m0).simulate_layered(&g, &s0, &map);
+                let r1 = Simulator::new(&m1).simulate_layered(&g, &s1, &map);
+                prop_assert_eq!(r0, r1);
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@
 
 use parallel_tasks::core::{LayerScheduler, LayeredSchedule, MappingStrategy};
 use parallel_tasks::cost::CostModel;
-use parallel_tasks::machine::{ClusterSpec, LinkParams};
+use parallel_tasks::machine::{ClusterSpec, LinkParams, SpeedProfile};
 use parallel_tasks::mtask::{CommOp, EdgeData, MTask, TaskGraph, TaskId};
 use parallel_tasks::serve::{CacheStatus, GPolicy, SchedService, ScheduleRequest, ServeConfig};
 use parallel_tasks::sim::Simulator;
@@ -19,6 +19,7 @@ fn toy_cluster(nodes: usize) -> ClusterSpec {
         processors_per_node: 2,
         cores_per_processor: 2,
         core_flops: 1e9,
+        speed: SpeedProfile::uniform(),
         intra_processor: LinkParams {
             latency_s: 1e-7,
             bytes_per_s: 8e9,
