@@ -840,16 +840,36 @@ fn assign_lpt(
     // index breaking ties.
     let width0 = base + usize::from(extra > 0);
     if *order_width != width0 {
-        *order_width = width0;
         let sort_times = if extra > 0 { hi_times } else { lo_times };
-        order.clear();
-        order.extend(
-            sort_times
-                .iter()
-                .enumerate()
-                .map(|(i, &t)| (TotalF64(t), i as u32)),
-        );
-        sort_lpt_order(order, workers);
+        if *order_width != usize::MAX && order.len() == sort_times.len() {
+            // Sweep reuse: the scratch already holds this task list's
+            // permutation at an adjacent width.  Keys are unique (distinct
+            // indices), so re-keying in place and re-sorting with *any*
+            // comparison sort reproduces exactly what a fresh
+            // enumerate-and-sort would — and adjacent widths rank tasks
+            // almost identically, so the re-keyed permutation is nearly
+            // sorted and the adaptive stable sort (behind an is-sorted
+            // fast path) does near-linear work instead of a full rebuild.
+            for e in order.iter_mut() {
+                e.0 = TotalF64(sort_times[e.1 as usize]);
+            }
+            if order
+                .windows(2)
+                .any(|w| lpt_cmp(&w[0], &w[1]) == std::cmp::Ordering::Greater)
+            {
+                order.sort_by(lpt_cmp);
+            }
+        } else {
+            order.clear();
+            order.extend(
+                sort_times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| (TotalF64(t), i as u32)),
+            );
+            sort_lpt_order(order, workers);
+        }
+        *order_width = width0;
     }
 
     if let Some(asg) = assignment.as_deref_mut() {
@@ -1065,6 +1085,46 @@ mod tests {
             sort_lpt_order(&mut serial, 1);
             sort_lpt_order(&mut parallel, workers);
             assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lpt_order_reuse_across_widths_is_bit_identical() {
+        // The g-sweep walks many adjacent widths over one task list; the
+        // scratch re-keys and adaptively re-sorts its existing permutation
+        // instead of rebuilding it per candidate.  Sweeping every g with
+        // one shared scratch must be bit-identical to a fresh scratch per
+        // candidate, makespan and assignment alike.
+        let spec = platforms::chic().with_nodes(8);
+        let model = CostModel::new(&spec);
+        let tasks: Vec<MTask> = (0..23)
+            .map(|i| {
+                MTask::with_comm(
+                    format!("t{i}"),
+                    5e8 + (i as f64) * ((i % 5) as f64) * 1e7,
+                    vec![CommOp::allgather(4096.0 + i as f64 * 512.0, 1.0)],
+                )
+            })
+            .collect();
+        let list: Vec<(TaskId, &MTask)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i), t))
+            .collect();
+        let total = 32;
+        let table = CostTable::with_width(&model, list.len(), total);
+        let mut shared = LptScratch::default();
+        let mut asg_shared = Vec::new();
+        let mut asg_fresh = Vec::new();
+        // Walk down like a sweep worker (widths increase), then back up, so
+        // the reuse path sees both directions of near-sortedness.
+        let gs: Vec<usize> = (1..=total).chain((1..=total).rev()).collect();
+        for g in gs {
+            let t_shared = assign_lpt(&table, &list, g, total, &mut shared, Some(&mut asg_shared));
+            let mut fresh = LptScratch::default();
+            let t_fresh = assign_lpt(&table, &list, g, total, &mut fresh, Some(&mut asg_fresh));
+            assert_eq!(t_shared.to_bits(), t_fresh.to_bits(), "g={g}");
+            assert_eq!(asg_shared, asg_fresh, "g={g}");
         }
     }
 

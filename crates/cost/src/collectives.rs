@@ -389,6 +389,7 @@ impl<'a> CostModel<'a> {
     fn worst_link_time(&self, ctx: &CommContext, cores: &[CoreId], bytes: f64) -> f64 {
         let mut seen_core = std::collections::HashSet::new();
         let mut seen_label = std::collections::HashSet::new();
+        let mut seen_node = std::collections::HashSet::new();
         // One representative core per distinct node.
         let mut node_reps: Vec<(usize, CoreId)> = Vec::new();
         let mut intra_proc = false;
@@ -405,11 +406,11 @@ impl<'a> CostModel<'a> {
                 intra_proc = true;
                 continue;
             }
-            if node_reps.iter().any(|&(n, _)| n == l.node) {
+            if seen_node.insert(l.node) {
+                node_reps.push((l.node, c));
+            } else {
                 // Distinct processor on an already-seen node.
                 intra_node = true;
-            } else {
-                node_reps.push((l.node, c));
             }
         }
         let mut worst = 0.0f64;
@@ -783,6 +784,72 @@ mod tests {
                     "pattern {pat:?} @ {bytes}B"
                 );
                 assert_eq!(fast.to_bits(), all.to_bits(), "pattern {pat:?} @ {bytes}B");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_non_power_of_two_is_bit_equal_to_all_pairs_fallback() {
+        // The non-power-of-two allreduce charges `worst_link_time` for any
+        // round whose recursive-doubling pairing comes up empty.  Rebuild
+        // the round loop with the all-pairs oracle in that slot and assert
+        // the production path (hashed node dedup + argmax fold) stays
+        // bit-equal on non-power-of-two groups, consecutive and scattered,
+        // under asymmetric NIC sharing.
+        let spec = platforms::chic().with_nodes(8);
+        let m = CostModel::new(&spec);
+        let mut ctx = CommContext::uniform(&spec);
+        ctx.sharers[2] = 5.0;
+        ctx.sharers[6] = 3.0;
+        let oracle = |group: &[CoreId], bytes: f64| -> f64 {
+            let q = group.len();
+            if q <= 1 {
+                return 0.0;
+            }
+            let rounds = (q as f64).log2().ceil() as usize;
+            let mut time = 0.0;
+            let mut dist = 1usize;
+            for _ in 0..rounds {
+                let mut pairs = Vec::new();
+                for i in 0..q {
+                    let j = i ^ dist;
+                    if j < q && j > i {
+                        pairs.push((group[i], group[j]));
+                        pairs.push((group[j], group[i]));
+                    }
+                }
+                time += if pairs.is_empty() {
+                    m.worst_link_time_all_pairs(&ctx, group, bytes)
+                } else {
+                    m.step_time(&ctx, &pairs, bytes)
+                };
+                dist *= 2;
+            }
+            time
+        };
+        for q in [3usize, 5, 6, 7, 12, 17, 24] {
+            let consecutive: Vec<CoreId> = (0..q).map(CoreId).collect();
+            let scattered: Vec<CoreId> = (0..q).map(|i| CoreId((i % 8) * 4 + i / 8)).collect();
+            for group in [&consecutive, &scattered] {
+                for bytes in [8.0, 4096.0, 1e6] {
+                    let fast = m.allreduce(&ctx, group, bytes);
+                    let slow = oracle(group, bytes);
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "allreduce dedup {fast} != oracle {slow} for q={q} @ {bytes}B"
+                    );
+                    // The fallback's ingredient stays bit-equal on its own.
+                    let w = m.worst_link_time(&ctx, group, bytes);
+                    assert_eq!(
+                        w.to_bits(),
+                        m.worst_link_time_all_pairs(&ctx, group, bytes).to_bits()
+                    );
+                    assert_eq!(
+                        w.to_bits(),
+                        m.worst_link_time_rep_pairs(&ctx, group, bytes).to_bits()
+                    );
+                }
             }
         }
     }

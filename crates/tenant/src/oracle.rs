@@ -1,0 +1,180 @@
+//! The admission / sizing oracle: predicted running time T(w) of a job on
+//! a `w`-core allotment, computed by the paper's own pipeline — layer
+//! scheduler → consecutive mapping → simulator — and widened by the
+//! observed prediction error (pt-obs reconciliation slack), so admission
+//! promises hold to the extent the cost model has been validated.
+//!
+//! Cost tables are warm across allotments: one [`TableStore`] per distinct
+//! graph, sized to the whole machine, serves every width the policies
+//! probe, so re-sizing a job re-prices only the `(task, width)` pairs never
+//! seen before.  The T(w) curve itself is memoized per (graph, width).
+
+use crate::job::JobSpec;
+use pt_core::{LayerScheduler, MappingStrategy};
+use pt_cost::{CostModel, CostTable, TableStore};
+use pt_sim::Simulator;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Per-graph warm state: the shared table store plus the memoized curve.
+struct GraphCache {
+    store: Arc<TableStore>,
+    /// width → raw predicted seconds (no slack).
+    t_of_w: HashMap<usize, f64>,
+}
+
+/// Predicts T(job, width) with reconciliation-derived slack.  Interior
+/// mutability: policies and simulators share one oracle immutably.
+pub struct AdmissionOracle<'a> {
+    model: &'a CostModel<'a>,
+    slack: f64,
+    graphs: Mutex<HashMap<usize, GraphCache>>,
+    /// Scheduling pipeline invocations (oracle cache misses).
+    misses: std::sync::atomic::AtomicUsize,
+}
+
+impl<'a> AdmissionOracle<'a> {
+    /// Oracle over `model`'s machine with the default slack of a
+    /// never-reconciled model (2.0, matching
+    /// [`Reconciliation::suggested_slack`](pt_obs::Reconciliation::suggested_slack)
+    /// on an empty report).
+    pub fn new(model: &'a CostModel<'a>) -> AdmissionOracle<'a> {
+        AdmissionOracle {
+            model,
+            slack: 2.0,
+            graphs: Mutex::new(HashMap::new()),
+            misses: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Override the slack factor (clamped to the reconciliation range
+    /// [1.25, 8]).
+    pub fn with_slack(mut self, slack: f64) -> AdmissionOracle<'a> {
+        self.slack = slack.clamp(1.25, 8.0);
+        self
+    }
+
+    /// Derive the slack from an observed prediction-error report.
+    pub fn with_reconciliation(self, rec: &pt_obs::Reconciliation) -> AdmissionOracle<'a> {
+        let s = rec.suggested_slack();
+        self.with_slack(s)
+    }
+
+    /// The machine's total core count (the widest allotment).
+    pub fn total_cores(&self) -> usize {
+        self.model.spec.total_cores()
+    }
+
+    /// The slack factor applied by [`predict`](Self::predict).
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// Scheduling-pipeline invocations so far (memo misses).
+    pub fn evaluations(&self) -> usize {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Raw predicted running time of `job` on `width` cores (seconds), no
+    /// slack: schedule the graph onto `width` symbolic cores through the
+    /// graph's warm cost table, map consecutively, simulate.
+    pub fn predict_raw(&self, job: &JobSpec, width: usize) -> f64 {
+        let total = self.total_cores();
+        assert!(
+            width >= 1 && width <= total,
+            "width {width} outside 1..={total}"
+        );
+        let key = job.graph_key();
+        let store = {
+            let mut graphs = self.graphs.lock().expect("oracle cache lock");
+            let cache = graphs.entry(key).or_insert_with(|| GraphCache {
+                store: Arc::new(TableStore::with_classes(
+                    job.graph.len(),
+                    total,
+                    self.model.num_classes(),
+                )),
+                t_of_w: HashMap::new(),
+            });
+            if let Some(&t) = cache.t_of_w.get(&width) {
+                return t;
+            }
+            cache.store.clone()
+        };
+        // Compute outside the lock: the store is internally synchronized,
+        // and concurrent probes of the same width both write the same value.
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let table = CostTable::shared(self.model, store);
+        let sched = LayerScheduler::new(self.model).schedule_on_with(&table, &job.graph, width);
+        let mapping = MappingStrategy::Consecutive.mapping(self.model.spec, width);
+        let t = Simulator::new(self.model)
+            .simulate_layered(&job.graph, &sched, &mapping)
+            .makespan;
+        self.graphs
+            .lock()
+            .expect("oracle cache lock")
+            .get_mut(&key)
+            .expect("entry inserted above")
+            .t_of_w
+            .insert(width, t);
+        t
+    }
+
+    /// Slack-widened prediction — the admission-facing bound.
+    pub fn predict(&self, job: &JobSpec, width: usize) -> f64 {
+        self.predict_raw(job, width) * self.slack
+    }
+
+    /// Would `job` on `width` cores finish within `budget` seconds, by the
+    /// slack-widened bound?
+    pub fn admit(&self, job: &JobSpec, width: usize, budget: f64) -> bool {
+        self.predict(job, width) <= budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::WorkloadKind;
+    use pt_machine::platforms;
+
+    #[test]
+    fn memo_and_warm_tables_absorb_repeat_probes() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let oracle = AdmissionOracle::new(&model);
+        let job = JobSpec::new(0, "epol#0", WorkloadKind::Epol.graph(), 0.0);
+
+        let t8 = oracle.predict_raw(&job, 8);
+        let after_first = oracle.evaluations();
+        assert!(t8 > 0.0 && t8.is_finite());
+        // Same (graph, width) again: memo hit, no new pipeline run.
+        let t8b = oracle.predict_raw(&job, 8);
+        assert_eq!(t8.to_bits(), t8b.to_bits());
+        assert_eq!(oracle.evaluations(), after_first);
+
+        // A different job of the same kind shares the curve outright.
+        let job2 = JobSpec::new(1, "epol#1", WorkloadKind::Epol.graph(), 3.0);
+        let t8c = oracle.predict_raw(&job2, 8);
+        assert_eq!(t8.to_bits(), t8c.to_bits());
+        assert_eq!(oracle.evaluations(), after_first);
+    }
+
+    #[test]
+    fn more_cores_never_hurt_much_and_slack_scales() {
+        let spec = platforms::chic().with_nodes(4);
+        let model = CostModel::new(&spec);
+        let oracle = AdmissionOracle::new(&model).with_slack(1.25);
+        let job = JobSpec::new(0, "bt#0", WorkloadKind::BtMz.graph(), 0.0);
+        let t1 = oracle.predict_raw(&job, 1);
+        let t16 = oracle.predict_raw(&job, 16);
+        assert!(
+            t16 < t1,
+            "16 cores ({t16}s) should beat 1 core ({t1}s) on BT-MZ"
+        );
+        let bound = oracle.predict(&job, 16);
+        assert!((bound - t16 * 1.25).abs() < 1e-12);
+        assert!(oracle.admit(&job, 16, bound));
+        assert!(!oracle.admit(&job, 16, bound * 0.5));
+    }
+}

@@ -32,12 +32,20 @@
 //! {"workload":"epol","platform":"chic","cores":64,"mapping":"consecutive","steps":2}
 //! {"workload":"bt-mz","platform":"juropa","cores":256,"slow_nodes":8,"slow_factor":0.5}
 //! {"cmd":"stats"}
+//! {"cmd":"submit","workload":"epol","steps":1,"arrival":0.0,"min_width":2}
+//! {"cmd":"tenant","platform":"chic","cores":16,"policy":"malleable"}
 //! ```
 //!
 //! Responses are one JSON object per line: `{"ok":true,"cache":"hit",...}`
 //! with the simulated time per step, or `{"ok":false,"error":"..."}`.
 //! Repeated requests are answered from the service's content-addressed
 //! schedule cache (see the `pt-serve` crate).
+//!
+//! `{"cmd":"submit"}` queues one job of an online multi-tenant stream;
+//! `{"cmd":"tenant"}` runs the queued stream as a scenario under a policy
+//! (`fcfs` | `equi` | `malleable`, see the `pt-tenant` crate) and answers
+//! with makespan, per-job stretch and platform utilization (`"drain":false`
+//! keeps the stream queued for comparing policies on the same jobs).
 
 use parallel_tasks::core::{LayerScheduler, MappingStrategy};
 use parallel_tasks::cost::CostModel;
@@ -407,10 +415,21 @@ fn parse_serve_args(args: &mut dyn Iterator<Item = String>) -> Result<ServeOptio
 type GraphCache = Mutex<HashMap<(String, usize), Arc<TaskGraph>>>;
 type MachineCache = Mutex<HashMap<(String, usize, usize, u64), Arc<ClusterSpec>>>;
 
+/// One job queued by `{"cmd":"submit"}`, awaiting a `{"cmd":"tenant"}`
+/// scenario run.
+struct PendingJob {
+    workload: String,
+    steps: usize,
+    arrival: f64,
+    min_width: usize,
+}
+
 struct ServeState {
     service: SchedService,
     graphs: GraphCache,
     machines: MachineCache,
+    /// The submit-mode job stream (drained by `{"cmd":"tenant"}`).
+    pending: Mutex<Vec<PendingJob>>,
 }
 
 fn serve_main(args: &mut dyn Iterator<Item = String>) -> i32 {
@@ -425,6 +444,7 @@ fn serve_main(args: &mut dyn Iterator<Item = String>) -> i32 {
         service: SchedService::new(o.config),
         graphs: Mutex::new(HashMap::new()),
         machines: Mutex::new(HashMap::new()),
+        pending: Mutex::new(Vec::new()),
     });
     match o.listen {
         None => {
@@ -521,6 +541,8 @@ fn serve_request(state: &ServeState, line: &str) -> Result<String, String> {
                 ]);
                 Ok(serde_json::to_string(&v).expect("serialize stats"))
             }
+            "submit" => submit_request(state, &v),
+            "tenant" => tenant_request(state, &v),
             other => Err(format!("unknown command `{other}`")),
         };
     }
@@ -590,6 +612,131 @@ fn serve_request(state: &ServeState, line: &str) -> Result<String, String> {
         cost_evaluations: reply.cost_evaluations,
     };
     Ok(serde_json::to_string(&line).expect("serialize response"))
+}
+
+/// `{"cmd":"submit","workload":"epol","steps":1,"arrival":0.25,"min_width":2}`
+/// — append one job to the tenant stream.  Validation happens here (the
+/// later scenario run must not fail on a job admitted long ago).
+fn submit_request(state: &ServeState, v: &Value) -> Result<String, String> {
+    let workload_name = str_or(v, "workload", "epol")?;
+    let steps = usize_or(v, "steps", 1)?;
+    let arrival = f64_or(v, "arrival", 0.0)?;
+    let min_width = usize_or(v, "min_width", 1)?;
+    if !WORKLOADS.contains(&workload_name.as_str()) {
+        return Err(format!("unknown workload `{workload_name}`"));
+    }
+    if steps == 0 {
+        return Err("steps must be at least 1".into());
+    }
+    if min_width == 0 {
+        return Err("min_width must be at least 1".into());
+    }
+    if !(arrival >= 0.0 && arrival.is_finite()) {
+        return Err("arrival must be a non-negative number".into());
+    }
+    let mut pending = state.pending.lock().expect("pending lock");
+    pending.push(PendingJob {
+        workload: workload_name,
+        steps,
+        arrival,
+        min_width,
+    });
+    let reply = Value::Map(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("queued".into(), Value::UInt(pending.len() as u64)),
+    ]);
+    Ok(serde_json::to_string(&reply).expect("serialize submit reply"))
+}
+
+/// `{"cmd":"tenant","platform":"chic","cores":16,"policy":"malleable"}` —
+/// run the submitted job stream as an online multi-tenant scenario and
+/// report makespan / stretch / utilization.  `"drain":false` keeps the
+/// stream for another run (policy comparisons on one stream).
+fn tenant_request(state: &ServeState, v: &Value) -> Result<String, String> {
+    let platform_name = str_or(v, "platform", "chic")?;
+    let cores = usize_or(v, "cores", 64)?;
+    let policy = match str_or(v, "policy", "malleable")?.as_str() {
+        "fcfs" | "fcfs-exclusive" => pt_tenant::Policy::FcfsExclusive,
+        "equi" => pt_tenant::Policy::Equi,
+        "malleable" => pt_tenant::Policy::Malleable,
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    let drain = match get(v, "drain") {
+        None | Some(Value::Null) => true,
+        Some(Value::Bool(b)) => *b,
+        Some(other) => return Err(format!("field `drain` must be a boolean, got {other:?}")),
+    };
+    let base = platform(&platform_name)?;
+    check_cores(&base, cores)?;
+    let spec = base.with_cores(cores);
+
+    let jobs: Vec<pt_tenant::JobSpec> = {
+        let mut pending = state.pending.lock().expect("pending lock");
+        if pending.is_empty() {
+            return Err("no jobs submitted (send {\"cmd\":\"submit\",...} first)".into());
+        }
+        let graphs = |p: &PendingJob| -> Result<Arc<TaskGraph>, String> {
+            let mut cache = state.graphs.lock().expect("graph cache lock");
+            Ok(match cache.entry((p.workload.clone(), p.steps)) {
+                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Arc::new(workload(&p.workload, p.steps)?)).clone()
+                }
+            })
+        };
+        let jobs =
+            pending
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    Ok(pt_tenant::JobSpec::new(
+                        i,
+                        format!("{}#{i}", p.workload),
+                        graphs(p)?,
+                        p.arrival,
+                    )
+                    .with_min_width(p.min_width.min(cores)))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+        if drain {
+            pending.clear();
+        }
+        jobs
+    };
+
+    let model = CostModel::new(&spec);
+    let oracle = pt_tenant::AdmissionOracle::new(&model);
+    let report = pt_tenant::run_scenario(
+        &oracle,
+        &jobs,
+        policy,
+        &pt_tenant::TenantSimConfig::default(),
+    );
+    let per_job: Vec<Value> = report
+        .jobs
+        .iter()
+        .map(|j| {
+            Value::Map(vec![
+                ("name".into(), Value::Str(j.name.clone())),
+                ("arrival_s".into(), Value::Float(j.arrival)),
+                ("finish_s".into(), Value::Float(j.finish)),
+                ("stretch".into(), Value::Float(j.stretch)),
+                ("resizes".into(), Value::UInt(j.resizes as u64)),
+            ])
+        })
+        .collect();
+    let reply = Value::Map(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("policy".into(), Value::Str(report.policy.clone())),
+        ("jobs".into(), Value::UInt(report.jobs.len() as u64)),
+        ("makespan_s".into(), Value::Float(report.makespan)),
+        ("mean_stretch".into(), Value::Float(report.mean_stretch)),
+        ("max_stretch".into(), Value::Float(report.max_stretch)),
+        ("utilization".into(), Value::Float(report.utilization)),
+        ("resizes".into(), Value::UInt(report.resizes as u64)),
+        ("per_job".into(), Value::Seq(per_job)),
+    ]);
+    Ok(serde_json::to_string(&reply).expect("serialize tenant reply"))
 }
 
 fn get<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {

@@ -15,7 +15,9 @@
 //! * [`core`] to schedule and map ([`core::LayerScheduler`],
 //!   [`core::MappingStrategy`]),
 //! * [`sim`] to predict multi-node performance, [`exec`] to actually run on
-//!   local cores.
+//!   local cores,
+//! * [`tenant`] to share one platform between a stream of jobs (admission,
+//!   malleable shrink/regrow, gang timesharing).
 
 pub use pt_core as core;
 pub use pt_cost as cost;
@@ -27,3 +29,4 @@ pub use pt_obs as obs;
 pub use pt_ode as ode;
 pub use pt_serve as serve;
 pub use pt_sim as sim;
+pub use pt_tenant as tenant;

@@ -122,6 +122,63 @@ fn serve_answers_json_lines_on_stdin() {
 }
 
 #[test]
+fn serve_submit_and_tenant_run_a_job_stream() {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ptsched serve");
+    let mut stdin = child.stdin.take().expect("stdin pipe");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout pipe"));
+
+    let requests = [
+        r#"{"cmd":"tenant","cores":16}"#, // nothing submitted yet
+        r#"{"cmd":"submit","workload":"epol","steps":1,"arrival":0.0,"min_width":2}"#,
+        r#"{"cmd":"submit","workload":"bt-mz","steps":1,"arrival":0.002,"min_width":4}"#,
+        r#"{"cmd":"submit","workload":"irk","steps":1,"arrival":0.004,"min_width":2}"#,
+        r#"{"cmd":"submit","workload":"nope"}"#, // invalid job rejected
+        r#"{"cmd":"tenant","platform":"chic","cores":16,"policy":"fcfs","drain":false}"#,
+        r#"{"cmd":"tenant","platform":"chic","cores":16,"policy":"malleable"}"#,
+        r#"{"cmd":"tenant","platform":"chic","cores":16}"#, // drained above
+    ];
+    for r in requests {
+        writeln!(stdin, "{r}").expect("write request");
+    }
+    drop(stdin);
+
+    let lines: Vec<String> = stdout.lines().map(|l| l.expect("response line")).collect();
+    assert_eq!(lines.len(), requests.len(), "one response per request");
+    assert!(lines[0].contains(r#""ok":false"#) && lines[0].contains("no jobs submitted"));
+    for (i, queued) in [(1usize, 1usize), (2, 2), (3, 3)] {
+        assert!(
+            lines[i].contains(&format!(r#""queued":{queued}"#)),
+            "submit #{i}: {}",
+            lines[i]
+        );
+    }
+    assert!(lines[4].contains(r#""ok":false"#) && lines[4].contains("unknown workload"));
+    assert!(
+        lines[5].contains(r#""policy":"fcfs-exclusive""#)
+            && lines[5].contains(r#""jobs":3"#)
+            && lines[5].contains(r#""resizes":0"#),
+        "fcfs scenario: {}",
+        lines[5]
+    );
+    assert!(
+        lines[6].contains(r#""policy":"malleable""#) && lines[6].contains(r#""per_job""#),
+        "malleable scenario: {}",
+        lines[6]
+    );
+    // The stream was kept by drain:false and consumed by the drain run.
+    assert!(lines[7].contains("no jobs submitted"), "{}", lines[7]);
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success());
+}
+
+#[test]
 fn one_shot_run_still_works() {
     let out = run(&["--workload", "epol", "--cores", "16", "--steps", "1"]);
     assert_eq!(
